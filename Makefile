@@ -1,0 +1,29 @@
+.PHONY: install test bench figures examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+test-output:
+	pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-output:
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# Regenerate one paper figure, e.g. `make fig FIG=13`
+fig:
+	pytest benchmarks/bench_fig$(FIG)*.py --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/adaptive_ecc_demo.py
+	python examples/fault_injection_study.py
+
+clean:
+	rm -rf results/*.txt .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,61 @@
+"""Ablation: multi-function adaptive channels on/off.
+
+IntelliNoC without MFAC hardware loses the on-link re-transmission
+buffers (copies fall back to upstream-VC reservations, the baseline
+mechanism) and the relaxed-timing circuits.  DESIGN.md calls this out as
+a design-choice ablation: the MFAC functions should earn their area.
+"""
+
+from dataclasses import replace
+
+from benchmarks.conftest import BENCH_SEED, once, publish
+from repro.config import INTELLINOC, NocConfig
+from repro.core.experiment import run_technique
+from repro.traffic.parsec import generate_parsec_trace
+from repro.utils.tables import format_table
+
+BENCHMARK = "fer"  # error-prone (hot, hotspot-heavy): exercises modes 2-4
+
+
+def test_ablation_mfac(benchmark):
+    def run():
+        full = INTELLINOC
+        # No MFAC: single-link channel with the same total storage, no
+        # retransmission/relaxed functions.
+        ablated = replace(
+            INTELLINOC,
+            name="IntelliNoC-noMFAC",
+            uses_mfac=False,
+            noc=replace(INTELLINOC.noc, channel_links=1),
+        )
+        results = {}
+        for technique in (full, ablated):
+            noc = technique.noc
+            trace = generate_parsec_trace(
+                BENCHMARK, noc.width, noc.height, 8000, noc.flits_per_packet,
+                BENCH_SEED,
+            )
+            results[technique.name] = run_technique(
+                technique, trace, seed=BENCH_SEED
+            )
+        return results
+
+    results = once(benchmark, run)
+    full = results["IntelliNoC"]
+    ablated = results["IntelliNoC-noMFAC"]
+    rows = [
+        [name, m.execution_cycles, m.latency.mean, m.total_energy_j * 1e6,
+         m.reliability.total_retransmitted_flits]
+        for name, m in results.items()
+    ]
+    table = format_table(
+        ["variant", "exec cycles", "avg latency", "energy (uJ)", "retx flits"],
+        rows,
+        title=f"Ablation - MFAC hardware on/off ({BENCHMARK})",
+    )
+    publish("ablation_mfac", table)
+
+    # Both variants must be functional; the MFAC design should not cost
+    # performance (its benefits are reliability flexibility + energy).
+    assert full.packets_completed == ablated.packets_completed
+    assert full.execution_cycles <= ablated.execution_cycles * 1.1

@@ -1,0 +1,24 @@
+"""Fig. 9: speed-up of full application execution time (norm. to SECDED).
+
+Paper averages: EB ~1.06x, CP ~0.97x, CPD ~1.08x, IntelliNoC ~1.16x.
+Shape requirement: IntelliNoC fastest on average; CP no better than the
+adaptive techniques (it pays wakeup latency).
+"""
+
+from benchmarks.conftest import once, publish
+
+PAPER_AVERAGES = {"SECDED": 1.0, "EB": 1.06, "CP": 0.97, "CPD": 1.08, "IntelliNoC": 1.16}
+
+
+def test_fig09_speedup(benchmark, runner):
+    table, averages = once(benchmark, runner.figure9_speedup)
+    extra = "paper averages: " + ", ".join(
+        f"{k}={v:.2f}" for k, v in PAPER_AVERAGES.items()
+    )
+    publish("fig09_speedup", table, extra)
+
+    assert averages["SECDED"] == 1.0
+    # IntelliNoC is at least as fast as the baseline and within the top two.
+    assert averages["IntelliNoC"] >= 0.97
+    ranked = sorted(averages, key=averages.get, reverse=True)
+    assert "IntelliNoC" in ranked[:2]

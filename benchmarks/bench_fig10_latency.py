@@ -1,0 +1,24 @@
+"""Fig. 10: average end-to-end packet latency (norm. to SECDED, lower wins).
+
+Paper averages: EB ~0.83, IntelliNoC ~0.68; CP roughly baseline-level.
+Shape requirement: IntelliNoC achieves the largest (or tied-largest)
+latency reduction; EB beats the baseline via its shorter pipeline.
+"""
+
+from benchmarks.conftest import once, publish
+
+PAPER_AVERAGES = {"SECDED": 1.0, "EB": 0.83, "CP": 1.0, "CPD": 0.9, "IntelliNoC": 0.68}
+
+
+def test_fig10_latency(benchmark, runner):
+    table, averages = once(benchmark, runner.figure10_latency)
+    extra = "paper averages: " + ", ".join(
+        f"{k}={v:.2f}" for k, v in PAPER_AVERAGES.items()
+    )
+    publish("fig10_latency", table, extra)
+
+    assert averages["SECDED"] == 1.0
+    assert averages["EB"] < 1.0  # VA elimination pays off
+    assert averages["IntelliNoC"] < 1.0
+    ranked = sorted(averages, key=averages.get)
+    assert "IntelliNoC" in ranked[:2]  # best or second best

@@ -1,0 +1,23 @@
+"""Fig. 11: overall static power consumption (norm. to SECDED, lower wins).
+
+Paper averages: EB ~0.86, CP ~0.80, CPD ~0.77, IntelliNoC lowest (~0.55).
+Shape requirement: every technique saves static power vs the baseline;
+IntelliNoC saves the most (RL-managed gating + bypass).
+"""
+
+from benchmarks.conftest import once, publish
+
+PAPER_AVERAGES = {"SECDED": 1.0, "EB": 0.86, "CP": 0.80, "CPD": 0.77, "IntelliNoC": 0.55}
+
+
+def test_fig11_static_power(benchmark, runner):
+    table, averages = once(benchmark, runner.figure11_static_power)
+    extra = "paper averages: " + ", ".join(
+        f"{k}={v:.2f}" for k, v in PAPER_AVERAGES.items()
+    )
+    publish("fig11_static_power", table, extra)
+
+    assert averages["SECDED"] == 1.0
+    for name in ("EB", "CP", "CPD", "IntelliNoC"):
+        assert averages[name] < 1.0, f"{name} should save static power"
+    assert averages["IntelliNoC"] == min(averages.values())

@@ -1,0 +1,22 @@
+"""Fig. 12: overall dynamic power consumption (norm. to SECDED, lower wins).
+
+Paper: all techniques reduce dynamic power; IntelliNoC reduces it most
+(MFAC storage + adaptive ECC + fewer retransmissions).
+"""
+
+from benchmarks.conftest import once, publish
+
+PAPER_AVERAGES = {"SECDED": 1.0, "EB": 0.85, "CP": 0.88, "CPD": 0.75, "IntelliNoC": 0.62}
+
+
+def test_fig12_dynamic_power(benchmark, runner):
+    table, averages = once(benchmark, runner.figure12_dynamic_power)
+    extra = "paper averages: " + ", ".join(
+        f"{k}={v:.2f}" for k, v in PAPER_AVERAGES.items()
+    )
+    publish("fig12_dynamic_power", table, extra)
+
+    assert averages["SECDED"] == 1.0
+    # The adaptive techniques beat the static-SECDED channel design (CP).
+    assert averages["IntelliNoC"] < averages["CP"]
+    assert averages["IntelliNoC"] < 1.0

@@ -1,0 +1,23 @@
+"""Fig. 13: energy-efficiency, Eq. 8 (norm. to SECDED, higher wins).
+
+Paper averages: best non-RL technique (CPD) ~1.36x; IntelliNoC ~1.67x.
+Shape requirement: IntelliNoC is the most energy-efficient technique and
+clearly ahead of CPD.
+"""
+
+from benchmarks.conftest import once, publish
+
+PAPER_AVERAGES = {"SECDED": 1.0, "EB": 1.25, "CP": 1.15, "CPD": 1.36, "IntelliNoC": 1.67}
+
+
+def test_fig13_energy_efficiency(benchmark, runner):
+    table, averages = once(benchmark, runner.figure13_energy_efficiency)
+    extra = "paper averages: " + ", ".join(
+        f"{k}={v:.2f}" for k, v in PAPER_AVERAGES.items()
+    )
+    publish("fig13_energy_efficiency", table, extra)
+
+    assert averages["SECDED"] == 1.0
+    assert averages["IntelliNoC"] == max(averages.values())
+    assert averages["IntelliNoC"] > 1.2
+    assert averages["IntelliNoC"] > averages["CPD"]

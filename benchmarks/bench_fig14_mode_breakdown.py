@@ -1,0 +1,26 @@
+"""Fig. 14: IntelliNoC operation-mode breakdown per benchmark.
+
+Paper averages: mode 0 ~20% (stress-relaxing bypass), mode 1 ~55%
+(CRC-only suffices most of the time), modes 2-4 ~25% combined.
+Shape requirement: mode 1 dominates; mode 0 is used but not dominant;
+the stronger protection modes are a minority.
+"""
+
+from benchmarks.conftest import once, publish
+
+PAPER_AVERAGE = {0: 0.20, 1: 0.55, 2: 0.12, 3: 0.07, 4: 0.06}
+
+
+def test_fig14_mode_breakdown(benchmark, runner):
+    table, average = once(benchmark, runner.figure14_mode_breakdown)
+    extra = "paper averages: " + ", ".join(
+        f"mode {m}={v:.0%}" for m, v in PAPER_AVERAGE.items()
+    )
+    publish("fig14_mode_breakdown", table, extra)
+
+    assert abs(sum(average.values()) - 1.0) < 1e-6
+    # CRC-only is the dominant mode (low error levels most of the time).
+    assert average[1] == max(average.values())
+    assert average[1] > 0.35
+    # The other modes are all exercised somewhere in the suite.
+    assert all(average[m] > 0.0 for m in range(5))

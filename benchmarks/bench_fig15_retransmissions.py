@@ -1,0 +1,21 @@
+"""Fig. 15: number of re-transmission flits (norm. to SECDED, lower wins).
+
+Paper: all techniques reduce retransmissions (cooler routers -> fewer
+timing errors); IntelliNoC achieves the largest reduction, ~45% (0.55x).
+"""
+
+from benchmarks.conftest import once, publish
+
+PAPER_AVERAGES = {"SECDED": 1.0, "EB": 0.85, "CP": 0.8, "CPD": 0.7, "IntelliNoC": 0.55}
+
+
+def test_fig15_retransmissions(benchmark, runner):
+    table, averages = once(benchmark, runner.figure15_retransmissions)
+    extra = "paper averages: " + ", ".join(
+        f"{k}={v:.2f}" for k, v in PAPER_AVERAGES.items()
+    )
+    publish("fig15_retransmissions", table, extra)
+
+    assert averages["SECDED"] == 1.0
+    # IntelliNoC reduces retransmission traffic vs the static baseline.
+    assert averages["IntelliNoC"] < 1.0

@@ -1,0 +1,22 @@
+"""Fig. 16: mean-time-to-failure (norm. to SECDED, higher wins).
+
+Paper: IntelliNoC reaches 1.77x the baseline MTTF; EB/CP/CPD improve
+modestly.  Shape requirement: IntelliNoC has the highest MTTF (its
+stress-relaxing mode is the differentiator), all techniques >= baseline.
+"""
+
+from benchmarks.conftest import once, publish
+
+PAPER_AVERAGES = {"SECDED": 1.0, "EB": 1.1, "CP": 1.2, "CPD": 1.3, "IntelliNoC": 1.77}
+
+
+def test_fig16_mttf(benchmark, runner):
+    table, averages = once(benchmark, runner.figure16_mttf)
+    extra = "paper averages: " + ", ".join(
+        f"{k}={v:.2f}" for k, v in PAPER_AVERAGES.items()
+    )
+    publish("fig16_mttf", table, extra)
+
+    assert averages["SECDED"] == 1.0
+    assert averages["IntelliNoC"] == max(averages.values())
+    assert averages["IntelliNoC"] > 1.3

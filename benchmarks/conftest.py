@@ -1,0 +1,53 @@
+"""Shared infrastructure for the per-figure benchmark targets.
+
+Each ``bench_figXX_*.py`` regenerates one table/figure of the paper's
+evaluation: it runs the required simulations (cached across benches within
+the session), prints the paper-style table, writes it to
+``results/figXX.txt``, and asserts the qualitative *shape* of the result
+(who wins, roughly by how much) — absolute numbers are not expected to
+match the authors' testbed (see EXPERIMENTS.md).
+
+Environment knobs:
+
+* ``REPRO_BENCH_DURATION``  — trace length in cycles (default 6000).
+* ``REPRO_BENCH_PRETRAIN``  — RL pre-training cycles (default 40000).
+* ``REPRO_BENCH_SEED``      — campaign seed (default 7).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.experiment import ExperimentRunner
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+BENCH_DURATION = int(os.environ.get("REPRO_BENCH_DURATION", "6000"))
+BENCH_PRETRAIN = int(os.environ.get("REPRO_BENCH_PRETRAIN", "40000"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """One campaign runner shared by all figure benches (results cached)."""
+    return ExperimentRunner(
+        duration=BENCH_DURATION,
+        seed=BENCH_SEED,
+        pretrain_cycles=BENCH_PRETRAIN,
+    )
+
+
+def publish(name: str, table: str, extra: str = "") -> None:
+    """Print the figure table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = table + ("\n" + extra if extra else "") + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print("\n" + text)
+
+
+def once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

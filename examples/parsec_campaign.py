@@ -1,0 +1,58 @@
+"""Mini PARSEC campaign: all five techniques over a subset of benchmarks.
+
+Reproduces the structure of the paper's Figs. 9-16 at laptop scale and
+prints the normalized tables.  For the full-scale regeneration of every
+figure, run the benchmark harness instead::
+
+    pytest benchmarks/ --benchmark-only
+
+Usage::
+
+    python examples/parsec_campaign.py [duration_cycles] [benchmark ...]
+"""
+
+import sys
+
+from repro.core.experiment import ExperimentRunner
+
+
+def main() -> None:
+    duration = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+    benchmarks = sys.argv[2:] or ["swa", "bod", "can"]
+
+    runner = ExperimentRunner(
+        duration=duration,
+        seed=11,
+        benchmarks=benchmarks,
+        pretrain_cycles=max(10_000, duration * 3),
+    )
+    print(
+        f"Campaign: {len(runner.techniques)} techniques x {len(benchmarks)} "
+        f"benchmarks, {duration}-cycle traces (pre-training IntelliNoC first)"
+    )
+    runner.run_campaign()
+
+    for figure in (
+        runner.figure9_speedup,
+        runner.figure10_latency,
+        runner.figure11_static_power,
+        runner.figure12_dynamic_power,
+        runner.figure13_energy_efficiency,
+        runner.figure15_retransmissions,
+        runner.figure16_mttf,
+    ):
+        table, averages = figure()
+        print()
+        print(table)
+
+    table, avg = runner.figure14_mode_breakdown()
+    print()
+    print(table)
+    print(
+        "\nIntelliNoC average mode occupancy: "
+        + ", ".join(f"mode {m}: {v:.0%}" for m, v in avg.items())
+    )
+
+
+if __name__ == "__main__":
+    main()

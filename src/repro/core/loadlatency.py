@@ -1,0 +1,111 @@
+"""Load-latency characterization — the standard NoC methodology.
+
+Sweeps the injection rate of a synthetic pattern, measures average packet
+latency per operating point, and locates the saturation throughput (the
+load at which latency exceeds a multiple of the zero-load latency).  Not a
+paper figure, but the tool any NoC study starts with; the synthetic-traffic
+example and tests build on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import FaultConfig, SimulationConfig, TechniqueConfig
+from repro.noc.network import Network
+from repro.traffic.patterns import SyntheticPattern, generate_synthetic_trace
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One operating point of a load-latency curve."""
+
+    injection_rate: float  # packets/node/cycle offered
+    avg_latency: float  # cycles (inf when the network did not keep up)
+    throughput: float  # packets/node/cycle accepted
+    completed_fraction: float
+
+    @property
+    def saturated(self) -> bool:
+        return self.completed_fraction < 0.95
+
+
+@dataclass
+class LoadLatencySweep:
+    """Drives one technique through an injection-rate sweep."""
+
+    technique: TechniqueConfig
+    pattern: SyntheticPattern = SyntheticPattern.UNIFORM
+    duration: int = 3000
+    seed: int = 1
+    packet_size: int = 4
+    hotspots: tuple[int, ...] = (0, 7, 56, 63)
+    faults: FaultConfig = field(
+        default_factory=lambda: FaultConfig(base_bit_error_rate=1e-7)
+    )
+    drain_budget: int = 10_000
+
+    def measure(self, injection_rate: float) -> LoadPoint:
+        """Run one operating point."""
+        noc = self.technique.noc
+        trace = generate_synthetic_trace(
+            self.pattern,
+            noc.num_routers,
+            noc.width,
+            self.duration,
+            injection_rate,
+            self.packet_size,
+            make_rng(self.seed, f"loadlat/{self.pattern.value}/{injection_rate}"),
+            hotspots=self.hotspots,
+        )
+        config = SimulationConfig(
+            technique=self.technique, seed=self.seed, faults=self.faults
+        )
+        net = Network(config, trace)
+        net.run_to_completion(self.duration + self.drain_budget)
+        injected = max(1, net.stats.packets_injected)
+        completed = net.stats.packets_completed
+        latency = (
+            net.stats.average_latency if net.stats.latency_count else float("inf")
+        )
+        return LoadPoint(
+            injection_rate=injection_rate,
+            avg_latency=latency,
+            throughput=completed / (net.cycle * noc.num_routers),
+            completed_fraction=completed / injected,
+        )
+
+    def sweep(self, rates: list[float]) -> list[LoadPoint]:
+        if not rates:
+            raise ValueError("sweep needs at least one rate")
+        return [self.measure(r) for r in sorted(rates)]
+
+    def saturation_rate(
+        self,
+        low: float = 0.002,
+        high: float = 0.2,
+        latency_factor: float = 3.0,
+        iterations: int = 6,
+    ) -> float:
+        """Bisect for the injection rate where latency blows past
+        ``latency_factor`` x the zero-load latency (or delivery collapses)."""
+        zero_load = self.measure(low)
+        if zero_load.saturated:
+            raise ValueError("the low anchor is already saturated")
+        threshold = latency_factor * zero_load.avg_latency
+
+        def is_saturated(rate: float) -> bool:
+            point = self.measure(rate)
+            return point.saturated or point.avg_latency > threshold
+
+        if not is_saturated(high):
+            return high
+        lo, hi = low, high
+        for _ in range(iterations):
+            mid = (lo + hi) / 2.0
+            if is_saturated(mid):
+                hi = mid
+            else:
+                lo = mid
+        return (lo + hi) / 2.0

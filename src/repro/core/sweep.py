@@ -1,0 +1,87 @@
+"""Parameter sweeps for the sensitivity studies (Figs. 17-18).
+
+Each sweep varies one knob of the IntelliNoC configuration — RL time step,
+injected error rate, discount rate gamma, exploration epsilon — and
+re-runs the blackscholes tuning workload, reporting the metrics the paper
+plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.config import FaultConfig, INTELLINOC, SimulationConfig, TechniqueConfig
+from repro.metrics.summary import RunMetrics
+from repro.noc.network import Network
+from repro.traffic.parsec import generate_parsec_trace
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample: the knob value and the run's metrics."""
+
+    value: float
+    metrics: RunMetrics
+
+    @property
+    def edp(self) -> float:
+        return self.metrics.energy_delay_product
+
+    @property
+    def retransmission_rate(self) -> float:
+        return self.metrics.reliability.retransmission_rate
+
+
+@dataclass
+class SensitivitySweep:
+    """Sweep driver over the blackscholes tuning benchmark."""
+
+    technique: TechniqueConfig = field(default_factory=lambda: INTELLINOC)
+    benchmark: str = "blackscholes"
+    duration: int = 8_000
+    seed: int = 1
+    faults: FaultConfig = field(default_factory=FaultConfig)
+
+    def _run(self, technique: TechniqueConfig, faults: FaultConfig) -> RunMetrics:
+        noc = technique.noc
+        trace = generate_parsec_trace(
+            self.benchmark, noc.width, noc.height, self.duration,
+            noc.flits_per_packet, self.seed,
+        )
+        config = SimulationConfig(technique=technique, faults=faults, seed=self.seed)
+        network = Network(config, trace)
+        network.run_to_completion(trace.duration * 4 + 50_000)
+        return RunMetrics.from_network(network)
+
+    def sweep_time_step(self, steps: list[int]) -> list[SweepPoint]:
+        """Fig. 17(a): RL control interval from 200 to 10k cycles."""
+        return [
+            SweepPoint(s, self._run(self.technique.with_rl(time_step=s), self.faults))
+            for s in steps
+        ]
+
+    def sweep_error_rate(self, rates: list[float]) -> list[SweepPoint]:
+        """Fig. 17(b): injected average bit error rates (1e-10 .. 1e-7)."""
+        return [
+            SweepPoint(
+                r,
+                self._run(
+                    self.technique, replace(self.faults, base_bit_error_rate=r)
+                ),
+            )
+            for r in rates
+        ]
+
+    def sweep_gamma(self, gammas: list[float]) -> list[SweepPoint]:
+        """Fig. 18(a): discount rate gamma in [0, 1]."""
+        return [
+            SweepPoint(g, self._run(self.technique.with_rl(discount=g), self.faults))
+            for g in gammas
+        ]
+
+    def sweep_epsilon(self, epsilons: list[float]) -> list[SweepPoint]:
+        """Fig. 18(b): exploration probability epsilon in [0, 1]."""
+        return [
+            SweepPoint(e, self._run(self.technique.with_rl(epsilon=e), self.faults))
+            for e in epsilons
+        ]

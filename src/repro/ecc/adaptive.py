@@ -1,0 +1,62 @@
+"""Per-router adaptive error-correction hardware (Section 3.2, Fig. 5).
+
+One :class:`AdaptiveEccUnit` per router models the three activation levels
+of the paper's adaptive hardware:
+
+* fully power-gated -> end-to-end CRC only,
+* partially enabled -> per-hop SECDED,
+* fully enabled     -> per-hop DECTED,
+
+and reports the dynamic energy per protected flit hop and the leakage of
+whatever circuitry is currently powered, which feed the power model.
+"""
+
+from __future__ import annotations
+
+from repro.config import EccScheme, PowerConfig
+
+
+class AdaptiveEccUnit:
+    """Runtime ECC configuration of one router's ports."""
+
+    def __init__(self, power: PowerConfig, initial: EccScheme = EccScheme.SECDED):
+        self._power = power
+        self._scheme = initial
+        self.transitions = 0  # number of runtime reconfigurations
+
+    @property
+    def scheme(self) -> EccScheme:
+        return self._scheme
+
+    def configure(self, scheme: EccScheme) -> None:
+        """Switch the hardware to *scheme* (synchronized with the upstream
+        encoder by the mode-exchange protocol of Section 4)."""
+        if scheme is EccScheme.NONE:
+            raise ValueError("the adaptive unit always retains at least CRC")
+        if scheme is not self._scheme:
+            self.transitions += 1
+            self._scheme = scheme
+
+    def codec_energy_pj(self) -> float:
+        """Dynamic encode+decode energy for one flit hop under the current scheme."""
+        if self._scheme is EccScheme.SECDED:
+            return self._power.secded_codec_pj
+        if self._scheme is EccScheme.DECTED:
+            return self._power.dected_codec_pj
+        return 0.0  # CRC is checked once end-to-end, not per hop
+
+    def end_to_end_check_energy_pj(self) -> float:
+        """Energy of the destination CRC check (charged once per flit)."""
+        return self._power.crc_check_pj
+
+    def leakage_mw(self) -> float:
+        """Leakage of the currently-powered ECC circuitry (per router)."""
+        leak = self._power.crc_leak_mw  # CRC at the injection port, always on
+        if self._scheme is EccScheme.SECDED:
+            leak += self._power.secded_leak_mw
+        elif self._scheme is EccScheme.DECTED:
+            leak += self._power.secded_leak_mw + self._power.dected_extra_leak_mw
+        return leak
+
+    def __repr__(self) -> str:
+        return f"AdaptiveEccUnit(scheme={self._scheme.value})"

@@ -1,0 +1,91 @@
+"""Table-driven cyclic redundancy checks.
+
+The paper's Operation Mode 1 gates all per-hop ECC hardware and relies on an
+end-to-end CRC computed at the source network interface and checked at the
+destination.  This module provides bit-exact CRC computation over flit
+payloads so the end-to-end path can be validated against real codewords.
+"""
+
+from __future__ import annotations
+
+
+class Crc:
+    """A parameterizable CRC (MSB-first, non-reflected).
+
+    >>> CRC8.compute(b"123456789")
+    244
+    >>> CRC8.check(b"123456789", CRC8.compute(b"123456789"))
+    True
+    """
+
+    def __init__(self, width: int, polynomial: int, init: int = 0, name: str = "CRC"):
+        if width < 1 or width > 64:
+            raise ValueError("CRC width must be in 1..64")
+        if polynomial >> width:
+            raise ValueError("polynomial does not fit the CRC width")
+        self.width = width
+        self.polynomial = polynomial
+        self.init = init
+        self.name = name
+        self._mask = (1 << width) - 1
+        self._top_bit = 1 << (width - 1)
+        self._table = self._build_table()
+
+    def _build_table(self) -> list[int]:
+        table = []
+        for byte in range(256):
+            reg = byte << (self.width - 8) if self.width >= 8 else byte
+            for _ in range(8):
+                if reg & self._top_bit:
+                    reg = ((reg << 1) ^ self.polynomial) & self._mask
+                else:
+                    reg = (reg << 1) & self._mask
+            table.append(reg)
+        return table
+
+    def compute(self, data: bytes) -> int:
+        """CRC of *data* as an integer of ``width`` bits."""
+        reg = self.init
+        if self.width >= 8:
+            shift = self.width - 8
+            for byte in data:
+                reg = ((reg << 8) ^ self._table[((reg >> shift) ^ byte) & 0xFF]) & self._mask
+        else:
+            # Narrow CRCs process bit-by-bit; rare, so speed is irrelevant.
+            for byte in data:
+                for bit in range(7, -1, -1):
+                    inbit = (byte >> bit) & 1
+                    top = (reg >> (self.width - 1)) & 1
+                    reg = ((reg << 1) & self._mask)
+                    if top ^ inbit:
+                        reg ^= self.polynomial
+        return reg
+
+    def compute_int(self, value: int, nbits: int) -> int:
+        """CRC of the low *nbits* of integer *value* (big-endian bit order)."""
+        if nbits % 8:
+            raise ValueError("compute_int requires a whole number of bytes")
+        return self.compute(value.to_bytes(nbits // 8, "big"))
+
+    def check(self, data: bytes, crc: int) -> bool:
+        """True when *crc* matches the CRC of *data*."""
+        return self.compute(data) == crc
+
+    def detects(self, data: bytes, corrupted: bytes, crc: int) -> bool:
+        """True when the CRC computed at the source flags *corrupted*.
+
+        *crc* must be the CRC of the original *data*; the destination
+        recomputes it over what it received.
+        """
+        if self.compute(data) != crc:
+            raise ValueError("crc argument is not the CRC of the original data")
+        return self.compute(corrupted) != crc
+
+    def __repr__(self) -> str:
+        return f"{self.name}(width={self.width}, poly=0x{self.polynomial:X})"
+
+
+# Standard instances used across the project.
+CRC8 = Crc(8, 0x07, name="CRC8-CCITT")
+CRC16 = Crc(16, 0x1021, name="CRC16-CCITT")
+CRC32 = Crc(32, 0x04C11DB7, name="CRC32")

@@ -1,0 +1,129 @@
+"""Arithmetic over the binary extension field GF(2^m).
+
+Backs the BCH-based DECTED codec.  Elements are represented as integers in
+``0 .. 2^m - 1``; multiplication/division use exp/log tables built from a
+primitive polynomial.
+"""
+
+from __future__ import annotations
+
+# Primitive polynomials (including the x^m term) for the field sizes we use.
+_PRIMITIVE_POLYS = {
+    3: 0b1011,  # x^3 + x + 1
+    4: 0b10011,  # x^4 + x + 1
+    5: 0b100101,  # x^5 + x^2 + 1
+    6: 0b1000011,  # x^6 + x + 1
+    7: 0b10001001,  # x^7 + x^3 + 1
+    8: 0b100011101,  # x^8 + x^4 + x^3 + x^2 + 1
+}
+
+
+class GF2m:
+    """The field GF(2^m) with exp/log table arithmetic.
+
+    >>> f = GF2m(7)
+    >>> a = f.exp_table[1]  # the primitive element alpha
+    >>> f.mul(a, f.inv(a))
+    1
+    """
+
+    def __init__(self, m: int):
+        if m not in _PRIMITIVE_POLYS:
+            raise ValueError(f"unsupported field size 2^{m}")
+        self.m = m
+        self.size = 1 << m
+        self.order = self.size - 1  # multiplicative group order
+        self.primitive_poly = _PRIMITIVE_POLYS[m]
+        self.exp_table = [0] * (2 * self.order)
+        self.log_table = [0] * self.size
+        x = 1
+        for i in range(self.order):
+            self.exp_table[i] = x
+            self.log_table[x] = i
+            x <<= 1
+            if x & self.size:
+                x ^= self.primitive_poly
+        if x != 1:
+            raise ValueError(f"polynomial 0x{self.primitive_poly:X} is not primitive")
+        # Double the exp table so mul never needs a modulo.
+        for i in range(self.order, 2 * self.order):
+            self.exp_table[i] = self.exp_table[i - self.order]
+
+    def mul(self, a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return self.exp_table[self.log_table[a] + self.log_table[b]]
+
+    def inv(self, a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(2^m)")
+        return self.exp_table[self.order - self.log_table[a]]
+
+    def div(self, a: int, b: int) -> int:
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^m)")
+        if a == 0:
+            return 0
+        return self.exp_table[self.log_table[a] - self.log_table[b] + self.order]
+
+    def pow(self, a: int, e: int) -> int:
+        if a == 0:
+            return 0 if e else 1
+        return self.exp_table[(self.log_table[a] * e) % self.order]
+
+    def alpha_pow(self, e: int) -> int:
+        """alpha**e for the primitive element alpha."""
+        return self.exp_table[e % self.order]
+
+    def minimal_polynomial(self, element: int) -> int:
+        """Minimal polynomial of *element* over GF(2), as a bitmask poly.
+
+        Bit i of the result is the coefficient of x^i; all coefficients of a
+        minimal polynomial over GF(2) are 0/1 by construction.
+        """
+        # Conjugacy class {e, e^2, e^4, ...}
+        conjugates = []
+        e = element
+        while e not in conjugates:
+            conjugates.append(e)
+            e = self.mul(e, e)
+        # Product of (x - c) over the class, computed with GF(2^m) coeffs.
+        poly = [1]  # coefficients, low degree first, values in GF(2^m)
+        for c in conjugates:
+            nxt = [0] * (len(poly) + 1)
+            for i, coeff in enumerate(poly):
+                nxt[i + 1] ^= coeff  # x * poly
+                nxt[i] ^= self.mul(coeff, c)  # c * poly
+            poly = nxt
+        mask = 0
+        for i, coeff in enumerate(poly):
+            if coeff not in (0, 1):
+                raise ArithmeticError("minimal polynomial has non-binary coefficient")
+            if coeff:
+                mask |= 1 << i
+        return mask
+
+    def __repr__(self) -> str:
+        return f"GF2m(m={self.m})"
+
+
+def poly_mul_gf2(a: int, b: int) -> int:
+    """Multiply two GF(2)[x] polynomials given as bitmasks."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        b >>= 1
+    return result
+
+
+def poly_mod_gf2(a: int, mod: int) -> int:
+    """Remainder of GF(2)[x] polynomial *a* modulo *mod*."""
+    if mod == 0:
+        raise ZeroDivisionError("polynomial modulus is zero")
+    deg_mod = mod.bit_length() - 1
+    while a.bit_length() - 1 >= deg_mod and a:
+        shift = (a.bit_length() - 1) - deg_mod
+        a ^= mod << shift
+    return a

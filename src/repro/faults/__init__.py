@@ -1,0 +1,31 @@
+"""Fault, thermal, and aging models (Section 6 of the paper).
+
+* :mod:`repro.faults.transient` — VARIUS-style temperature/voltage-dependent
+  per-bit timing-error rate and Eq. 3 flit fault probability.
+* :mod:`repro.faults.thermal` — lumped-RC per-router thermal model
+  (HotSpot substitute).
+* :mod:`repro.faults.aging` — NBTI + HCI threshold-voltage shift
+  (Eqs. 4-7) and the Aging reward factor.
+* :mod:`repro.faults.mttf` — FIT/MTTF estimation from aging trajectories.
+* :mod:`repro.faults.injection` — deterministic fault-injection campaigns
+  for testing the recovery paths.
+"""
+
+from repro.faults.aging import AgingModel, AgingState
+from repro.faults.control_plane import QTableFaultInjector, table_divergence
+from repro.faults.injection import FaultInjector, InjectedFault
+from repro.faults.mttf import MttfEstimator
+from repro.faults.thermal import ThermalModel
+from repro.faults.transient import TransientFaultModel
+
+__all__ = [
+    "AgingModel",
+    "AgingState",
+    "QTableFaultInjector",
+    "table_divergence",
+    "FaultInjector",
+    "InjectedFault",
+    "MttfEstimator",
+    "ThermalModel",
+    "TransientFaultModel",
+]

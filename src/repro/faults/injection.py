@@ -1,0 +1,61 @@
+"""Deterministic fault-injection campaigns.
+
+The stochastic transient model (:mod:`repro.faults.transient`) drives the
+headline experiments; this module complements it with *scripted* injections
+— "flip k bits of the flit crossing link L at cycle C" — used by the test
+suite and the fault-injection example to exercise every recovery path
+(correction, per-hop retransmission, end-to-end retransmission, silent
+corruption accounting) under controlled conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One scripted fault: flip *bit_errors* bits on a specific traversal."""
+
+    cycle: int
+    src_router: int
+    direction: int  # output-port direction index at the source router
+    bit_errors: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise ValueError("fault cycle cannot be negative")
+        if self.bit_errors < 1:
+            raise ValueError("a fault must flip at least one bit")
+
+
+@dataclass
+class FaultInjector:
+    """Queryable schedule of injected faults.
+
+    The network asks, for every flit-link traversal, whether a scripted
+    fault applies; each fault fires at most once (the first matching
+    traversal at or after its cycle), mirroring a pulsed particle strike.
+    """
+
+    faults: list[InjectedFault] = field(default_factory=list)
+    fired: list[InjectedFault] = field(default_factory=list)
+
+    def schedule(self, fault: InjectedFault) -> None:
+        self.faults.append(fault)
+
+    def pending(self) -> int:
+        """Number of faults that have not fired yet."""
+        return len(self.faults)
+
+    def pop_matching(self, cycle: int, src_router: int, direction: int) -> int:
+        """Bit errors to apply to this traversal (0 when no fault matches)."""
+        for i, fault in enumerate(self.faults):
+            if (
+                fault.cycle <= cycle
+                and fault.src_router == src_router
+                and fault.direction == direction
+            ):
+                self.fired.append(self.faults.pop(i))
+                return fault.bit_errors
+        return 0

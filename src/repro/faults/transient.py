@@ -1,0 +1,82 @@
+"""Transient (timing) fault model — VARIUS substitute (Section 6.1).
+
+The paper feeds HotSpot temperatures into the VARIUS timing-error model to
+obtain a per-bit error rate ``Re`` that *increases with temperature* and
+*decreases with voltage margin*, then computes the flit fault probability
+with Eq. 3.  We implement that functional dependence directly with an
+Arrhenius-style exponential, calibrated so the nominal operating point sits
+at the configured base rate and the Fig. 17(b) sweep range (1e-10..1e-7) is
+reachable by scaling the base rate.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.config import FaultConfig
+
+
+class TransientFaultModel:
+    """Maps (temperature, voltage, mode) to a per-bit error rate."""
+
+    def __init__(self, config: FaultConfig):
+        self.config = config
+
+    def bit_error_rate(
+        self,
+        temperature_k: float,
+        supply_voltage: float | None = None,
+        relaxed_timing: bool = False,
+    ) -> float:
+        """Per-bit timing-error probability ``Re`` for one link traversal.
+
+        ``Re`` grows exponentially with temperature above the reference
+        point and shrinks exponentially with voltage guardband; relaxed
+        timing (Operation Mode 4 / MFAC relaxed buffers) multiplies the
+        rate by ``relaxed_error_factor`` — "reduced to near zero" in the
+        paper's terms.
+        """
+        if temperature_k <= 0:
+            raise ValueError("temperature must be positive kelvin")
+        cfg = self.config
+        voltage = cfg.supply_voltage if supply_voltage is None else supply_voltage
+        if voltage <= 0:
+            raise ValueError("supply voltage must be positive")
+
+        exponent = cfg.error_rate_temp_coeff * (
+            temperature_k - cfg.reference_temperature
+        )
+        if exponent > 60.0:  # beyond any physical operating point
+            return 0.5
+        rate = cfg.base_bit_error_rate * math.exp(exponent)
+        # Voltage margin term: each 10% droop costs ~10x in error rate,
+        # the slope VARIUS reports near the timing wall.
+        rate *= math.exp(-23.0 * (voltage - cfg.supply_voltage))
+        if relaxed_timing:
+            rate *= cfg.relaxed_error_factor
+        return min(rate, 0.5)
+
+    def flit_fault_probability(
+        self,
+        flit_bits: int,
+        temperature_k: float,
+        supply_voltage: float | None = None,
+        relaxed_timing: bool = False,
+    ) -> float:
+        """Eq. 3: ``P_fault = 1 - (1 - Re)^n`` for an n-bit flit."""
+        if flit_bits < 1:
+            raise ValueError("flit must carry at least one bit")
+        re = self.bit_error_rate(temperature_k, supply_voltage, relaxed_timing)
+        return -math.expm1(flit_bits * math.log1p(-re))
+
+    def scaled(self, base_bit_error_rate: float) -> "TransientFaultModel":
+        """A copy of this model with a different base error rate.
+
+        Used by the Fig. 17(b) sweep, which injects average bit error rates
+        of 1e-10 .. 1e-7.
+        """
+        from dataclasses import replace
+
+        return TransientFaultModel(
+            replace(self.config, base_bit_error_rate=base_bit_error_rate)
+        )

@@ -1,0 +1,27 @@
+"""Energy metrics (Section 7.1).
+
+Eq. 8: ``Energy-Efficiency = [(P_static + P_dynamic) * T_exec]^-1`` —
+the reciprocal of total energy, so "1.67x normalized energy-efficiency"
+means 40% less energy for the same work.
+"""
+
+from __future__ import annotations
+
+
+def energy_efficiency(
+    static_power_w: float, dynamic_power_w: float, execution_seconds: float
+) -> float:
+    """Eq. 8, in 1/joules."""
+    if execution_seconds <= 0:
+        raise ValueError("execution time must be positive")
+    total_power = static_power_w + dynamic_power_w
+    if total_power <= 0:
+        raise ValueError("total power must be positive")
+    return 1.0 / (total_power * execution_seconds)
+
+
+def energy_delay_product(total_energy_j: float, execution_seconds: float) -> float:
+    """EDP in joule-seconds (Fig. 18's y-axis, lower is better)."""
+    if total_energy_j < 0 or execution_seconds < 0:
+        raise ValueError("energy and time cannot be negative")
+    return total_energy_j * execution_seconds

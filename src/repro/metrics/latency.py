@@ -1,0 +1,40 @@
+"""Latency distribution summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """End-to-end packet latency distribution of one run."""
+
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    maximum: int
+    count: int
+
+    @classmethod
+    def from_samples(cls, latencies: list[int]) -> "LatencySummary":
+        if not latencies:
+            raise ValueError("no latency samples")
+        arr = np.asarray(latencies)
+        return cls(
+            mean=float(arr.mean()),
+            median=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            p99=float(np.percentile(arr, 99)),
+            maximum=int(arr.max()),
+            count=len(latencies),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"latency mean={self.mean:.1f} p50={self.median:.0f} "
+            f"p95={self.p95:.0f} p99={self.p99:.0f} max={self.maximum} "
+            f"(n={self.count})"
+        )

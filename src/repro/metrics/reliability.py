@@ -1,0 +1,38 @@
+"""Reliability summaries (Section 7.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ReliabilitySummary:
+    """Transient- and permanent-fault outcomes of one run."""
+
+    hop_retransmissions: int
+    e2e_retransmission_flits: int
+    corrected_flits: int
+    silent_corruptions: int
+    corrupted_packets_delivered: int
+    flits_delivered: int
+    mttf_seconds: float
+    mean_aging_factor: float
+    max_aging_factor: float
+
+    @property
+    def total_retransmitted_flits(self) -> int:
+        """Fig. 15's metric."""
+        return self.hop_retransmissions + self.e2e_retransmission_flits
+
+    @property
+    def retransmission_rate(self) -> float:
+        """Retransmitted flits per delivered flit (Fig. 18's second axis)."""
+        if self.flits_delivered == 0:
+            return 0.0
+        return self.total_retransmitted_flits / self.flits_delivered
+
+    @property
+    def silent_corruption_rate(self) -> float:
+        if self.flits_delivered == 0:
+            return 0.0
+        return self.silent_corruptions / self.flits_delivered

@@ -1,0 +1,92 @@
+"""The standard per-run metric bundle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics.energy import energy_delay_product, energy_efficiency
+from repro.metrics.latency import LatencySummary
+from repro.metrics.reliability import ReliabilitySummary
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Everything one simulation run reports.
+
+    Built from a finished :class:`repro.noc.network.Network` via
+    :meth:`from_network`; every figure of Section 7 reads from here.
+    """
+
+    technique: str
+    workload: str
+    execution_cycles: int
+    packets_completed: int
+    latency: LatencySummary
+    static_power_w: float
+    dynamic_power_w: float
+    total_energy_j: float
+    reliability: ReliabilitySummary
+    mode_breakdown: dict[int, float] = field(default_factory=dict)
+    mean_temperature_k: float = 0.0
+    max_temperature_k: float = 0.0
+    qtable_entries_max: int = 0
+
+    @property
+    def total_power_w(self) -> float:
+        return self.static_power_w + self.dynamic_power_w
+
+    @property
+    def execution_seconds(self) -> float:
+        # Metrics are normalized ratios; the 2 GHz clock of Table 1 applies.
+        return self.execution_cycles / 2.0e9
+
+    @property
+    def energy_efficiency(self) -> float:
+        """Eq. 8."""
+        return energy_efficiency(
+            self.static_power_w, self.dynamic_power_w, self.execution_seconds
+        )
+
+    @property
+    def energy_delay_product(self) -> float:
+        return energy_delay_product(self.total_energy_j, self.execution_seconds)
+
+    @classmethod
+    def from_network(cls, network, workload_name: str | None = None) -> "RunMetrics":
+        """Summarize a finished simulation."""
+        from repro.faults.mttf import MttfEstimator  # avoid import cycle
+
+        stats = network.stats
+        cycles = max(1, network.cycle)
+        static_w, dynamic_w = network.accountant.average_power_w(cycles)
+        mttf = MttfEstimator(network.aging)
+        reliability = ReliabilitySummary(
+            hop_retransmissions=stats.hop_retransmissions,
+            e2e_retransmission_flits=stats.e2e_retransmission_flits,
+            corrected_flits=stats.corrected_flits,
+            silent_corruptions=stats.silent_corruptions,
+            corrupted_packets_delivered=stats.corrupted_packets_delivered,
+            flits_delivered=stats.flits_delivered,
+            mttf_seconds=mttf.system_mttf_seconds(),
+            mean_aging_factor=network.aging.mean_aging(),
+            max_aging_factor=network.aging.max_aging(),
+        )
+        qtable_max = 0
+        policy = network.policy
+        if hasattr(policy, "max_table_entries"):
+            qtable_max = policy.max_table_entries()
+        return cls(
+            technique=network.technique.name,
+            workload=workload_name or network.trace.name,
+            execution_cycles=cycles,
+            packets_completed=stats.packets_completed,
+            latency=LatencySummary.from_samples(stats.latencies),
+            static_power_w=static_w,
+            dynamic_power_w=dynamic_w,
+            total_energy_j=network.accountant.total_pj() * 1e-12,
+            reliability=reliability,
+            mode_breakdown=stats.mode_breakdown(),
+            mean_temperature_k=network.thermal.mean_temperature(),
+            max_temperature_k=network.thermal.hottest()[1],
+            qtable_entries_max=qtable_max,
+        )

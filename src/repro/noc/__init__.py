@@ -1,0 +1,37 @@
+"""Cycle-level 2D-mesh wormhole NoC simulator (Booksim2 substitute).
+
+Primitives:
+
+* :mod:`repro.noc.flit` — packets and flits.
+* :mod:`repro.noc.routing` — directions and X-Y dimension-ordered routing.
+* :mod:`repro.noc.topology` — mesh coordinate/channel arithmetic.
+* :mod:`repro.noc.arbiter` — round-robin arbitration.
+* :mod:`repro.noc.vc` — virtual channels and input ports.
+* :mod:`repro.noc.bst` — the paper's unified Buffer State Table.
+
+Router and network:
+
+* :mod:`repro.noc.router` — 3/4-stage wormhole router with credit flow
+  control, adaptive ECC, stress-relaxing bypass, and power gating.
+* :mod:`repro.noc.power_gating` — gating controller (idle-driven and
+  mode-driven).
+* :mod:`repro.noc.network` — ties routers and channels into a mesh and
+  advances the whole system cycle by cycle.
+* :mod:`repro.noc.statistics` — run/epoch statistics collection.
+"""
+
+from repro.noc.flit import Flit, Packet
+from repro.noc.network import Network
+from repro.noc.routing import Direction, xy_route
+from repro.noc.statistics import NetworkStatistics
+from repro.noc.topology import MeshTopology
+
+__all__ = [
+    "Direction",
+    "Flit",
+    "MeshTopology",
+    "Network",
+    "NetworkStatistics",
+    "Packet",
+    "xy_route",
+]

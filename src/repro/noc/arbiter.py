@@ -1,0 +1,41 @@
+"""Round-robin arbitration.
+
+Used by switch allocation, VC allocation, and the bypass switch (the paper
+forwards bypassed flits "by a simple round robin arbiter").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+class RoundRobinArbiter:
+    """Grant one of *size* requesters per invocation, rotating priority.
+
+    >>> arb = RoundRobinArbiter(3)
+    >>> arb.grant([True, True, True])
+    0
+    >>> arb.grant([True, True, True])
+    1
+    """
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("arbiter needs at least one requester")
+        self.size = size
+        self._next = 0
+
+    def grant(self, requests: Sequence[bool]) -> int | None:
+        """Index of the granted requester, or None if nobody requested."""
+        if len(requests) != self.size:
+            raise ValueError(f"expected {self.size} request lines, got {len(requests)}")
+        for offset in range(self.size):
+            idx = (self._next + offset) % self.size
+            if requests[idx]:
+                self._next = (idx + 1) % self.size
+                return idx
+        return None
+
+    def peek(self) -> int:
+        """The requester that currently has top priority (for tests)."""
+        return self._next

@@ -1,0 +1,117 @@
+"""Packets and flits.
+
+A packet is ``flits_per_packet`` flits (Table 1: 4 x 128 bits); the head
+flit carries routing state, the tail closes the wormhole.  Flits are the
+unit of buffering, link traversal, error injection, and retransmission.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Packet:
+    """One network packet, alive from injection until clean ejection."""
+
+    pid: int
+    src: int
+    dst: int
+    size: int  # flits
+    creation_cycle: int  # when the source produced it (latency baseline)
+    injection_cycle: int = -1  # when the head flit entered the network
+    completion_cycle: int = -1  # when the tail flit was cleanly ejected
+    corrupted: bool = False  # carries silently-corrupted payload bits
+    needs_retry: bool = False  # destination CRC flagged this delivery
+    expects_reply: bool = False  # request-reply dependency (memory traffic)
+    is_reply: bool = False
+    e2e_retransmissions: int = 0  # end-to-end retries so far
+    flits_ejected: int = 0
+    # Routers the head flit visited: per-router latency (Eq. 1's Latency_i)
+    # is attributed to every router the packet transited.
+    path: list[int] = field(default_factory=list)
+
+    _pid_counter = itertools.count()
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError("packet source and destination must differ")
+        if self.size < 1:
+            raise ValueError("packets carry at least one flit")
+
+    @classmethod
+    def create(
+        cls,
+        src: int,
+        dst: int,
+        size: int,
+        cycle: int,
+        expects_reply: bool = False,
+        is_reply: bool = False,
+    ) -> "Packet":
+        return cls(
+            next(cls._pid_counter),
+            src,
+            dst,
+            size,
+            cycle,
+            expects_reply=expects_reply,
+            is_reply=is_reply,
+        )
+
+    def make_flits(self) -> list["Flit"]:
+        """Materialize this packet's flit train."""
+        return [
+            Flit(
+                packet=self,
+                seq=i,
+                is_head=(i == 0),
+                is_tail=(i == self.size - 1),
+            )
+            for i in range(self.size)
+        ]
+
+    @property
+    def latency(self) -> int:
+        """End-to-end latency in cycles (valid once completed)."""
+        if self.completion_cycle < 0:
+            raise ValueError("packet has not completed")
+        return self.completion_cycle - self.creation_cycle
+
+    def reset_for_retransmission(self) -> None:
+        """Prepare an end-to-end retry: payload re-sent from the source NI.
+
+        The creation cycle is preserved so latency keeps accounting for the
+        failed attempt, matching the paper's ACK-based latency definition.
+        """
+        self.e2e_retransmissions += 1
+        self.corrupted = False
+        self.needs_retry = False
+        self.flits_ejected = 0
+        self.injection_cycle = -1
+        self.path.clear()
+
+
+class Flit:
+    """One flow-control unit.
+
+    ``vc`` is rewritten hop by hop (it names the *downstream* VC the flit
+    is heading into); ``bit_errors`` accumulates flips that no per-hop
+    decoder repaired, for the end-to-end CRC check at ejection.
+    """
+
+    __slots__ = ("packet", "seq", "is_head", "is_tail", "vc", "bit_errors", "hops")
+
+    def __init__(self, packet: Packet, seq: int, is_head: bool, is_tail: bool):
+        self.packet = packet
+        self.seq = seq
+        self.is_head = is_head
+        self.is_tail = is_tail
+        self.vc = 0
+        self.bit_errors = 0
+        self.hops = 0
+
+    def __repr__(self) -> str:
+        kind = "H" if self.is_head else ("T" if self.is_tail else "B")
+        return f"Flit(p{self.packet.pid}.{self.seq}{kind} vc={self.vc})"

@@ -1,0 +1,575 @@
+"""The whole-system simulator: mesh + channels + faults + power + control.
+
+:class:`Network` owns the routers, the inter-router channels, the fault /
+thermal / aging models, the energy accountant, and the control policy, and
+advances everything cycle by cycle:
+
+1. trace events whose time has come enter the per-node source queues;
+2. gating state machines tick (wakeups complete, drains finish);
+3. channels deliver ready flits into powered routers — this is where link
+   bit errors are sampled and the per-hop ECC outcome (correct / NACK /
+   silent) is applied;
+4. powered routers run their pipeline; gated bypass routers forward one
+   flit through the bypass switch;
+5. source queues inject into local input ports;
+6. on stats-epoch boundaries leakage is charged, temperatures and aging
+   advance; on control-epoch boundaries the mode policy runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from repro.channels.mfac import Channel
+from repro.config import ControlPolicy, EccScheme, SimulationConfig
+from repro.ecc.outcomes import DecodeOutcome, ErrorSampler, decode_outcome
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.control.policies import ModePolicy
+from repro.faults.aging import AgingModel
+from repro.faults.injection import FaultInjector
+from repro.faults.thermal import ThermalModel
+from repro.faults.transient import TransientFaultModel
+from repro.noc.flit import Flit, Packet
+from repro.noc.power_gating import PowerState
+from repro.noc.router import Router
+from repro.noc.routing import Direction
+from repro.noc.statistics import NetworkStatistics
+from repro.noc.topology import MeshTopology
+from repro.power.accounting import EnergyAccountant
+from repro.power.model import PowerModel
+from repro.traffic.injection import SourceQueue
+from repro.traffic.trace import Trace
+from repro.utils.rng import RngFactory
+
+MAX_E2E_RETRIES = 16  # safety valve; never reached at realistic error rates
+
+
+class Network:
+    """One simulated NoC running one workload under one technique."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        trace: Trace,
+        policy: "ModePolicy | None" = None,
+        fault_injector: FaultInjector | None = None,
+    ):
+        from repro.control.policies import make_policy
+
+        self.config = config
+        self.technique = config.technique
+        noc = config.noc
+        self.topology = MeshTopology(noc.width, noc.height)
+        self.trace = trace
+        self.fault_injector = fault_injector
+
+        self.rngs = RngFactory(config.seed)
+        self.stats = NetworkStatistics(self.topology.num_routers)
+        self.accountant = EnergyAccountant(self.topology.num_routers, config.power)
+        self.thermal = ThermalModel(noc, config.faults)
+        self.aging = AgingModel(config.faults, self.topology.num_routers)
+        self.fault_model = TransientFaultModel(config.faults)
+        self.sampler = ErrorSampler(
+            noc.flit_bits,
+            self.rngs.stream("faults"),
+            multi_bit_fraction=config.faults.multi_bit_fraction,
+            burst_extra_bits_mean=config.faults.burst_extra_bits_mean,
+        )
+        self.power_model = PowerModel(self.technique, config.power)
+
+        self.policy = policy if policy is not None else make_policy(
+            self.technique, self.topology.num_routers, self.rngs
+        )
+
+        self.routers: list[Router] = []
+        self.channels: list[Channel] = []
+        self.sources = [SourceQueue(i) for i in range(self.topology.num_routers)]
+        self._build()
+
+        self.cycle = 0
+        self._trace_index = 0
+        self._events = trace.events
+        self._control_energy_mark = np.zeros(self.topology.num_routers)
+        self._out_flits_mark = np.zeros(self.topology.num_routers)
+        self._running_avg_latency = 20.0  # reward fallback before data exists
+        self._active_sources: set[int] = set()
+
+    # --- construction ---------------------------------------------------------
+
+    def _build(self) -> None:
+        noc = self.config.noc
+        for rid in range(self.topology.num_routers):
+            router = Router(
+                rid,
+                self.technique,
+                self.config.power,
+                noc.width,
+                self.stats.routers[rid],
+                charge=self._make_charger(rid),
+                on_eject=self._make_ejector(rid),
+            )
+            router.sample_link_errors = self._sample_channel_errors
+            self.routers.append(router)
+        for src, direction, dst in self.topology.channels():
+            channel = Channel(
+                src,
+                direction,
+                dst,
+                buffer_depth=noc.channel_buffer_depth,
+                links=noc.channel_links,
+                subnetworks=noc.subnetworks,
+                link_latency=noc.link_latency,
+                is_mfac=self.technique.uses_mfac,
+            )
+            self.channels.append(channel)
+            self.routers[src].outgoing[direction] = channel
+            self.routers[dst].incoming[direction.opposite] = channel
+            self.routers[src].downstream_ports[direction] = self.routers[dst].input_ports[
+                direction.opposite
+            ]
+            self.routers[src].downstream_routers[direction] = self.routers[dst]
+        for router in self.routers:
+            router.finish_wiring()
+
+    def _make_charger(self, rid: int):
+        accountant = self.accountant
+
+        def charge(energy_pj: float) -> None:
+            accountant.add_dynamic(rid, energy_pj)
+
+        return charge
+
+    def _make_ejector(self, rid: int):
+        def eject(flit: Flit, cycle: int) -> None:
+            self._handle_ejection(flit, rid, cycle)
+
+        return eject
+
+    # --- public API -------------------------------------------------------------
+
+    def run(self, cycles: int) -> None:
+        """Advance the simulation by *cycles* cycles."""
+        if cycles < 0:
+            raise ValueError("cannot run a negative number of cycles")
+        for _ in range(cycles):
+            self.step()
+
+    def run_to_completion(self, max_cycles: int) -> int:
+        """Run until every trace packet completed (or the cap is hit).
+
+        Returns the execution time in cycles — the paper's speed-up metric
+        numerator/denominator.
+        """
+        while self.cycle < max_cycles:
+            if (
+                self._trace_index >= len(self._events)
+                and not self._active_sources
+                and self.stats.packets_completed >= self.stats.packets_injected
+                and self._network_drained()
+            ):
+                return self.cycle
+            self.step()
+        return self.cycle
+
+    def _network_drained(self) -> bool:
+        if any(ch.queue for ch in self.channels):
+            return False
+        return all(r.is_empty() for r in self.routers)
+
+    # --- one cycle ----------------------------------------------------------------
+
+    def step(self) -> None:
+        cycle = self.cycle
+        self._admit_trace_events(cycle)
+        for router in self.routers:
+            state = router.gating.state
+            if state is PowerState.WAKING or state is PowerState.DRAINING:
+                router.gating.tick(cycle, router.is_empty())
+        self._deliver_channels(cycle)
+        self._step_routers(cycle)
+        self._inject(cycle)
+        next_cycle = cycle + 1
+        if next_cycle % self.config.stats_epoch == 0:
+            self._stats_epoch(next_cycle)
+        if self.policy.adapts and next_cycle % self.technique.rl.time_step == 0:
+            self._control_step(next_cycle)
+        self.cycle = next_cycle
+
+    # --- phase 0: workload ----------------------------------------------------------
+
+    def _admit_trace_events(self, cycle: int) -> None:
+        events = self._events
+        while self._trace_index < len(events) and events[self._trace_index].cycle <= cycle:
+            ev = events[self._trace_index]
+            self._trace_index += 1
+            packet = Packet.create(ev.src, ev.dst, ev.size, cycle, expects_reply=ev.reply)
+            self.sources[ev.src].enqueue(packet)
+            self._active_sources.add(ev.src)
+            self.stats.record_injection()
+
+    # --- phase 2: channel delivery -----------------------------------------------------
+
+    def _hop_error_rate(self, channel: Channel) -> float:
+        upstream = self.routers[channel.src]
+        relaxed = (
+            upstream.relaxed_timing
+            or channel.function.value == "relaxed"
+        )
+        temperature = self.thermal.temperature(channel.src)
+        return self.fault_model.bit_error_rate(temperature, relaxed_timing=relaxed)
+
+    def _sample_channel_errors(self, channel: Channel) -> int:
+        """Bit errors for one traversal (also charges the link energy)."""
+        if self.fault_injector is not None:
+            injected = self.fault_injector.pop_matching(
+                self.cycle, channel.src, int(channel.direction)
+            )
+            if injected:
+                self._charge_link(channel)
+                return injected
+        self._charge_link(channel)
+        return self.sampler.sample_bit_errors(self._hop_error_rate(channel))
+
+    def _charge_link(self, channel: Channel) -> None:
+        # The physical wire length (and so the traversal energy) is the
+        # same whether or not the repeater stages can hold flits; relaxed
+        # timing double-drives the stages.
+        stages = channel.traversal_latency
+        self.accountant.add_dynamic(
+            channel.src, self.power_model.link_energy_pj(stages)
+        )
+
+    def _deliver_channels(self, cycle: int) -> None:
+        for channel in self.channels:
+            queue = channel.queue
+            if not queue or queue[0][1] > cycle:
+                continue  # nothing ready (entries age monotonically)
+            dst_router = self.routers[channel.dst]
+            state = dst_router.gating.state
+            if state is PowerState.GATED:
+                if dst_router.technique.uses_bypass:
+                    continue  # the bypass switch pulls from the channel itself
+                if channel.deliverable(cycle):
+                    dst_router.gating.request_wakeup(cycle)
+                continue
+            if state is PowerState.WAKING:
+                continue
+            # A DRAINING router must keep accepting flits of packets it is
+            # already carrying: refusing them deadlocks the drain (those
+            # packets' remaining flits sit in these very channels while
+            # their downstream VC claims wait on the tails).  Only new
+            # heads are deferred until the router has gated or re-powered.
+            self._deliver_into(
+                channel,
+                dst_router,
+                cycle,
+                continuing_only=state is PowerState.DRAINING,
+            )
+
+    def _deliver_into(
+        self,
+        channel: Channel,
+        dst_router: Router,
+        cycle: int,
+        continuing_only: bool = False,
+    ) -> None:
+        in_dir = channel.direction.opposite
+        port = dst_router.input_ports[in_dir]
+        delivered = 0
+        blocked_vcs: set[int] = set()
+        upstream = self.routers[channel.src]
+        scheme = upstream.hop_scheme if upstream.powered else EccScheme.CRC
+        per_hop = scheme.per_hop
+        for entry in channel.deliverable(cycle):
+            if delivered >= channel.bandwidth:
+                break
+            flit: Flit = entry[0]
+            if flit.vc in blocked_vcs:
+                continue
+            if continuing_only and flit.is_head:
+                blocked_vcs.add(flit.vc)  # no new packets while draining
+                continue
+            if not port.vcs[flit.vc].can_accept():
+                blocked_vcs.add(flit.vc)
+                continue
+            if entry[2] is None:
+                entry[2] = self._sample_channel_errors(channel)
+            errors = entry[2]
+            dst_router.counters.record_error_class(errors)
+            if per_hop:
+                outcome = decode_outcome(scheme, errors)
+                if outcome is DecodeOutcome.RETRANSMIT:
+                    self._hop_retransmit(channel, entry, cycle)
+                    blocked_vcs.add(flit.vc)  # replay preserves VC order
+                    continue
+                if outcome is DecodeOutcome.CORRECTED:
+                    self.stats.corrected_flits += 1
+                elif outcome is DecodeOutcome.SILENT:
+                    flit.bit_errors += errors
+                    self.stats.silent_corruptions += 1
+            elif errors:
+                # No per-hop decoder: errors ride to the destination CRC.
+                flit.bit_errors += errors
+            channel.remove(entry)
+            channel.acknowledge(flit)
+            pending = channel.pending_acks.pop(flit, None)
+            if pending is not None:
+                upstream_vc, owner = pending
+                upstream_vc.release()
+                owner._reserved_count -= 1
+            dst_router.deliver(flit, in_dir, cycle)
+            self.stats.flits_delivered += 1
+            delivered += 1
+
+    def _hop_retransmit(self, channel: Channel, entry: list, cycle: int) -> None:
+        """A detected-uncorrectable flit: NACK and replay (Section 3.2)."""
+        channel.nack_resend(entry, cycle)
+        self.stats.hop_retransmissions += 1
+        self.accountant.add_dynamic(
+            channel.src, self.power_model.retransmission_energy_pj()
+        )
+
+    # --- phase 3: routers ---------------------------------------------------------------
+
+    def _step_routers(self, cycle: int) -> None:
+        for router in self.routers:
+            state = router.gating.state
+            if state is PowerState.GATED:
+                if router.technique.uses_bypass:
+                    if router.bypass_overloaded():
+                        # Congestion watchdog: leave mode 0 early; the next
+                        # control step re-decides with fresh state.
+                        router.apply_mode(1, cycle)
+                        self.stats.wakeups += 1
+                    elif router.bypass_step(cycle, self.sources[router.id]):
+                        self.stats.bypass_traversals += 1
+            elif state is not PowerState.WAKING:
+                router.step(cycle)
+            if self.technique.power_gating:
+                # CP/CPD gate on idleness and pay a wakeup; IntelliNoC also
+                # gates on idleness (Section 1) but its bypass keeps
+                # forwarding sporadic flits without waking the router.
+                router.gating.observe_idle(
+                    router.is_idle() and self.sources[router.id].is_empty(), cycle
+                )
+
+    # --- phase 4: injection ---------------------------------------------------------------
+
+    def _inject(self, cycle: int) -> None:
+        done: list[int] = []
+        for node in self._active_sources:
+            source = self.sources[node]
+            if source.is_empty():
+                done.append(node)
+                continue
+            router = self.routers[node]
+            state = router.gating.state
+            if state is PowerState.GATED:
+                if not router.technique.uses_bypass:
+                    router.gating.request_wakeup(cycle)
+                continue  # bypass injection happened in phase 3
+            if state in (PowerState.DRAINING, PowerState.WAKING):
+                continue
+            flit = source.peek()
+            if flit is None:
+                done.append(node)
+                continue
+            port = router.input_ports[Direction.LOCAL]
+            if flit.is_head:
+                vci = port.free_vc_for_head()
+                if vci is None:
+                    continue
+                source.current_vc = vci
+                flit.vc = vci
+                source.pop()
+                flit.packet.injection_cycle = cycle
+                router.deliver(flit, Direction.LOCAL, cycle)
+            else:
+                vci = source.current_vc
+                if vci is None:
+                    raise RuntimeError(f"node {node}: body flit with no open VC")
+                if not port.vcs[vci].can_accept():
+                    continue
+                flit.vc = vci
+                source.pop()
+                router.deliver(flit, Direction.LOCAL, cycle)
+                if flit.is_tail:
+                    source.current_vc = None
+        for node in done:
+            self._active_sources.discard(node)
+
+    # --- ejection / end-to-end CRC ------------------------------------------------------------
+
+    def _handle_ejection(self, flit: Flit, rid: int, cycle: int) -> None:
+        packet = flit.packet
+        self.accountant.add_dynamic(rid, self.power_model.ejection_check_energy_pj())
+        packet.flits_ejected += 1
+        if flit.bit_errors:
+            outcome = decode_outcome(EccScheme.CRC, flit.bit_errors)
+            if outcome is DecodeOutcome.RETRANSMIT:
+                packet.needs_retry = True
+            else:  # beyond the CRC's guaranteed detection: silent corruption
+                packet.corrupted = True
+        if not flit.is_tail:
+            return
+        if packet.needs_retry and packet.e2e_retransmissions < MAX_E2E_RETRIES:
+            packet.reset_for_retransmission()
+            self.stats.e2e_retransmission_flits += packet.size
+            self.accountant.add_dynamic(
+                packet.src, self.power_model.retransmission_energy_pj()
+            )
+            self.sources[packet.src].requeue_front(packet)
+            self._active_sources.add(packet.src)
+            return
+        packet.completion_cycle = cycle
+        if packet.corrupted:
+            self.stats.corrupted_packets_delivered += 1
+        self.stats.record_completion(packet.latency, packet.src, cycle, path=packet.path)
+        n = self.stats.packets_completed
+        self._running_avg_latency += (packet.latency - self._running_avg_latency) / min(
+            n, 200
+        )
+        if packet.expects_reply and not packet.is_reply:
+            # Request-reply dependency: the consumer answers (Netrace-style
+            # dependent traffic; couples execution time to latency).
+            reply = Packet.create(
+                packet.dst, packet.src, packet.size, cycle, is_reply=True
+            )
+            self.sources[packet.dst].enqueue(reply)
+            self._active_sources.add(packet.dst)
+            self.stats.record_injection()
+
+    # --- phase 6: epochs ------------------------------------------------------------------------
+
+    def _stats_epoch(self, now: int) -> None:
+        epoch = self.config.stats_epoch
+        freq = self.config.power.clock_frequency_hz
+        dt = epoch / freq
+        for rid, router in enumerate(self.routers):
+            powered, gated = router.gating.close_epoch(now)
+            leak_on = self.power_model.router_leakage_mw(True, router.ecc.scheme)
+            leak_off = self.power_model.router_leakage_mw(False, router.ecc.scheme)
+            if powered:
+                self.accountant.add_static(rid, leak_on, powered)
+            if gated:
+                self.accountant.add_static(rid, leak_off, gated)
+            # Occupancy sample for the RL buffer-utilization features.
+            ctr = self.stats.routers[rid]
+            for d in Direction:
+                port = router.input_ports[d]
+                cap = port.total_capacity()
+                ctr.occupancy_samples[int(d)] += (
+                    port.total_occupancy() / cap if cap else 0.0
+                )
+            ctr.num_occupancy_samples += 1
+            self.stats.record_mode_cycles(router.mode, epoch)
+            # Aging: full stress while powered, residual calendar wear
+            # while gated (GATED_NBTI_FRACTION inside the model).  Activity
+            # is this epoch's delta (the counters reset on control steps,
+            # not stats epochs, and never for static techniques).
+            out_total = float(ctr.out_flits.sum())
+            activity = (out_total - self._out_flits_mark[rid]) / max(1, 5 * epoch)
+            self._out_flits_mark[rid] = out_total
+            temperature = self.thermal.temperature(rid)
+            if powered:
+                self.aging.accumulate(
+                    rid,
+                    dt * (powered / epoch),
+                    temperature,
+                    min(1.0, activity),
+                    powered=True,
+                )
+            if gated:
+                self.aging.accumulate(
+                    rid, dt * (gated / epoch), temperature, 0.0, powered=False
+                )
+        # Channel hold energy: flits parked in channel buffers burn refresh
+        # energy every cycle; sampled at epoch granularity.
+        hold_pj = self.config.power.channel_buffer_hold_pj
+        for channel in self.channels:
+            if channel.queue:
+                stored = channel.stored_flits(now - 1)
+                if stored:
+                    self.accountant.add_dynamic(channel.src, stored * hold_pj * epoch)
+        snapshot = self.accountant.close_epoch(now)
+        self.thermal.step(snapshot.total_w, dt)
+
+    # The stress-relaxing bypass "is operational for even low-to-moderate
+    # traffic load" (Section 3.3): its single-flit-per-cycle switch cannot
+    # sustain more, so mode-0 requests above this total input rate
+    # (flits/cycle across the five ports) fall back to mode 1.
+    BYPASS_LOAD_LIMIT = 0.4
+
+    def _bypass_admissible(self, router: Router, obs) -> bool:
+        """Whether the router may enter mode 0 right now.
+
+        Two checks: the measured input rate must be within the bypass
+        switch's capability, and no incoming channel may be backed up —
+        under congestion collapse throughput measurements read *low*, so
+        occupancy is the reliable signal.
+        """
+        if float(obs.in_link_utilization.sum()) > self.BYPASS_LOAD_LIMIT:
+            return False
+        for channel in router.incoming.values():
+            if channel.occupancy >= max(2, channel.capacity // 2):
+                return False
+        if router._flit_count > router.noc.total_router_buffer_flits:
+            return False
+        return True
+
+    def _control_step(self, now: int) -> None:
+        observations = self._observe(now)
+        modes = self.policy.control_step(observations, now)
+        if modes is not None:
+            rl_pj = self.power_model.rl_step_energy_pj()
+            for router, mode, obs in zip(self.routers, modes, observations):
+                if rl_pj:
+                    self.accountant.add_dynamic(router.id, rl_pj)
+                if mode == 0 and not self._bypass_admissible(router, obs):
+                    mode = 1
+                router.apply_mode(mode, now)
+        self.stats.reset_epoch()
+        self._out_flits_mark[:] = 0.0
+
+    def _observe(self, now: int) -> list:
+        from repro.rl.state import RouterObservation
+
+        window = self.technique.rl.time_step
+        freq = self.config.power.clock_frequency_hz
+        seconds = window / freq
+        total_energy = self.accountant.static_pj + self.accountant.dynamic_pj
+        window_energy = total_energy - self._control_energy_mark
+        self._control_energy_mark = total_energy.copy()
+        observations = []
+        for rid in range(self.topology.num_routers):
+            power_w = max(0.0, float(window_energy[rid]) * 1e-12 / seconds)
+            observations.append(
+                RouterObservation.from_counters(
+                    rid,
+                    self.stats.routers[rid],
+                    window,
+                    self.thermal.temperature(rid),
+                    power_w,
+                    self._running_avg_latency,
+                    self.aging.aging_factor(rid),
+                )
+            )
+        return observations
+
+    # --- summaries -------------------------------------------------------------------------------
+
+    def drain_remaining(self, max_cycles: int = 50_000) -> None:
+        """Convenience: keep stepping until in-flight traffic drains."""
+        waited = 0
+        while not self._network_drained() and waited < max_cycles:
+            self.step()
+            waited += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"Network({self.technique.name}, cycle={self.cycle}, "
+            f"completed={self.stats.packets_completed}/{self.stats.packets_injected})"
+        )

@@ -1,0 +1,602 @@
+"""Wormhole router with adaptive ECC, power gating, and bypass.
+
+One :class:`Router` models the paper's enhanced microarchitecture
+(Fig. 1): a 4-stage (or, for EB, 3-stage) input-queued pipeline with
+virtual channels and credit backpressure, the unified Buffer State Table,
+the adaptive ECC unit, the power-gating controller, and — when gated with
+the stress-relaxing feature — the bypass switch that forwards flits from
+upstream MFACs to downstream MFACs without touching buffers or crossbar.
+
+The pipeline is modeled with per-flit eligibility delays rather than
+explicit stage registers: a head flit becomes switch-eligible
+``pipeline_stages - 2`` cycles after buffering (BW/RC + VA), a body flit
+after one cycle (BW), and switch traversal + link traversal follow — the
+same per-hop cycle counts as the stage-register formulation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.channels.controller import MfacController
+from repro.channels.flow_control import CongestionControlBlock
+from repro.channels.mfac import Channel, ChannelFunction
+from repro.config import ControlPolicy, EccScheme, PowerConfig, TechniqueConfig
+from repro.ecc.adaptive import AdaptiveEccUnit
+from repro.noc.adaptive_routing import CANDIDATE_FUNCTIONS, select_output
+from repro.noc.arbiter import RoundRobinArbiter
+from repro.noc.bst import BufferStateTable
+from repro.noc.flit import Flit
+from repro.noc.power_gating import PowerGatingController, PowerState
+from repro.noc.routing import NUM_PORTS, Direction, xy_route
+from repro.noc.statistics import RouterEpochCounters
+from repro.noc.vc import InputPort, VcState, VirtualChannel
+from repro.power.model import PowerModel
+
+# Operation-mode -> per-hop ECC scheme (Section 4). Mode 0/1 leave only the
+# end-to-end CRC; mode 4 keeps SECDED active under relaxed timing.
+MODE_SCHEME = {
+    0: EccScheme.CRC,
+    1: EccScheme.CRC,
+    2: EccScheme.SECDED,
+    3: EccScheme.DECTED,
+    4: EccScheme.SECDED,
+}
+
+
+class Router:
+    """One mesh router."""
+
+    def __init__(
+        self,
+        rid: int,
+        technique: TechniqueConfig,
+        power_cfg: PowerConfig,
+        mesh_width: int,
+        counters: RouterEpochCounters,
+        charge: Callable[[float], None],
+        on_eject: Callable[[Flit, int], None],
+    ):
+        noc = technique.noc
+        self.id = rid
+        self.technique = technique
+        self.noc = noc
+        self.mesh_width = mesh_width
+        self.counters = counters
+        self.charge = charge  # dynamic-energy sink (pJ)
+        self.on_eject = on_eject
+
+        depth = max(1, noc.router_buffer_depth)  # EB keeps a 1-flit latch
+        self.input_ports: dict[Direction, InputPort] = {
+            d: InputPort(d, noc.num_vcs, depth) for d in Direction
+        }
+        self.outgoing: dict[Direction, Channel] = {}
+        self.incoming: dict[Direction, Channel] = {}
+        self.downstream_ports: dict[Direction, InputPort] = {}
+        self.downstream_routers: dict[Direction, "Router"] = {}
+
+        self.bst = BufferStateTable(noc.num_vcs)
+        self.ecc = AdaptiveEccUnit(power_cfg, technique.static_ecc)
+        self.power_model = PowerModel(technique, power_cfg)
+        self.gating = PowerGatingController(
+            technique.wakeup_latency,
+            technique.idle_gate_threshold,
+            bypass=technique.uses_bypass,
+        )
+        self.mfac_controller: MfacController | None = None  # set after wiring
+        self.congestion: CongestionControlBlock | None = None
+
+        self.mode = technique.rl.initial_mode if self._adaptive else 2
+        self.relaxed_timing = False
+
+        self._head_delay = 2 if noc.pipeline_stages >= 4 else 1
+        self._body_delay = 1
+        self._grants_per_output = noc.subnetworks
+        self._port_arbiters = {d: RoundRobinArbiter(noc.num_vcs) for d in Direction}
+        self._output_arbiters = {d: RoundRobinArbiter(NUM_PORTS) for d in Direction}
+        self._va_arbiters = {
+            d: RoundRobinArbiter(NUM_PORTS * noc.num_vcs) for d in Direction
+        }
+        self._bypass_arbiter = RoundRobinArbiter(NUM_PORTS)
+        self._candidates = CANDIDATE_FUNCTIONS[noc.routing]
+        self.failed = False  # permanent fault flagged by the aging model
+        self._flit_count = 0  # flits in this router's input buffers
+        self._reserved_count = 0  # slots held by unacked wire-channel copies
+        # Set by the network: samples bit errors for one traversal of an
+        # incoming channel (used on bypassed hops, where no decoder runs).
+        self.sample_link_errors: Callable[[Channel], int] | None = None
+
+    @property
+    def _adaptive(self) -> bool:
+        return self.technique.policy in (ControlPolicy.HEURISTIC, ControlPolicy.RL)
+
+    def finish_wiring(self) -> None:
+        """Called by the network once channels and neighbors are attached."""
+        if self.technique.uses_mfac:
+            self.mfac_controller = MfacController(
+                [c for c in self.outgoing.values() if c.is_mfac]
+            )
+        self.congestion = CongestionControlBlock(self.input_ports, self.incoming)
+        if self._adaptive:
+            self.apply_mode(self.mode, cycle=0)
+
+    # --- state queries --------------------------------------------------------
+
+    @property
+    def powered(self) -> bool:
+        return self.gating.powered
+
+    @property
+    def hop_scheme(self) -> EccScheme:
+        """ECC scheme this router's output encoders currently apply."""
+        return self.ecc.scheme
+
+    def ecc_latency(self) -> int:
+        """Per-hop encode+decode pipeline cost of the active scheme
+        (one cycle each side for SECDED; DECTED's two-stage decoder adds
+        one more).  Eliminating this is the CRC-only mode's latency win."""
+        scheme = self.ecc.scheme
+        if scheme is EccScheme.SECDED:
+            return 2
+        if scheme is EccScheme.DECTED:
+            return 3
+        return 0
+
+    def is_empty(self) -> bool:
+        """No flits buffered and no retransmission reservations pending."""
+        return self._flit_count == 0 and self._reserved_count == 0
+
+    def is_idle(self) -> bool:
+        """Idle for gating purposes: nothing buffered here or inbound."""
+        if self._flit_count or self.bst.open_entries():
+            return False
+        return all(not c.queue for c in self.incoming.values())
+
+    # --- operation modes --------------------------------------------------------
+
+    def apply_mode(self, mode: int, cycle: int) -> None:
+        """Switch to operation *mode* (Section 4), reconfiguring the ECC
+        hardware, the outgoing MFACs, and the gating controller."""
+        if mode not in MODE_SCHEME:
+            raise ValueError(f"unknown operation mode {mode}")
+        self.mode = mode
+        self.relaxed_timing = mode == 4
+        self.ecc.configure(MODE_SCHEME[mode])
+        if self.mfac_controller is not None:
+            self.mfac_controller.apply_mode(mode)
+        if mode == 0:
+            self.gating.request_gate(cycle, self.is_empty())
+        elif (
+            self.gating.state is PowerState.GATED
+            and self.technique.uses_bypass
+            and self.is_idle()
+        ):
+            # Idle-driven gating (Section 1): the router stays dark and the
+            # bypass keeps covering sporadic flits; the new mode's ECC
+            # configuration takes effect once traffic re-powers the router.
+            pass
+        else:
+            self.gating.request_power_on(cycle)
+
+    # --- flit delivery (called by the network) -----------------------------------
+
+    def deliver(self, flit: Flit, direction: Direction, cycle: int) -> None:
+        """Buffer an arriving flit into its input VC."""
+        port = self.input_ports[direction]
+        vc = port.vcs[flit.vc]
+        if flit.is_head:
+            if vc.state is not VcState.IDLE:
+                raise RuntimeError(
+                    f"router {self.id}: head arrived at busy VC "
+                    f"{direction.name}/{flit.vc}"
+                )
+        elif vc.state is VcState.IDLE:
+            # Body flit whose head traversed while this router was gated:
+            # restore wormhole state from the always-on BST.
+            entry = self.bst.lookup(direction, flit.vc)
+            if entry is None:
+                raise RuntimeError(
+                    f"router {self.id}: orphan body flit on {direction.name}/{flit.vc}"
+                )
+            vc.route = entry.output_port
+            vc.out_vc = entry.out_vc
+            vc.state = VcState.ACTIVE
+        vc.push(flit, cycle)
+        self._flit_count += 1
+        self.counters.in_flits[int(direction)] += 1
+        if flit.is_head:
+            flit.packet.path.append(self.id)
+
+    def accepts(self, flit: Flit, direction: Direction) -> bool:
+        """Whether the input VC the flit targets has a free slot."""
+        return self.input_ports[direction].vcs[flit.vc].can_accept()
+
+    # --- pipeline ----------------------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        """One cycle of the powered router pipeline (RC, VA, SA/ST).
+
+        One scan over the occupied VCs performs route computation and
+        gathers VA requests and SA candidates; allocation then proceeds
+        in pipeline order (RC results feed VA; VA grants may win SA the
+        same cycle they become eligible, per the stage delays).
+        """
+        if not self.powered:
+            return
+        if self._flit_count == 0:
+            return
+        num_vcs = self.noc.num_vcs
+        head_delay = self._head_delay
+        va_requests: dict[Direction, list[tuple[int, InputPort, int]]] = {}
+        active: list[tuple[InputPort, int, VirtualChannel]] = []
+        for port in self.input_ports.values():
+            for vci, vc in enumerate(port.vcs):
+                if not vc.queue:
+                    continue
+                state = vc.state
+                if state is VcState.ROUTING:
+                    flit, enq = vc.queue[0]
+                    if cycle >= enq + 1:
+                        vc.route = self.compute_route(flit.packet.dst)
+                        vc.state = state = VcState.WAITING_VA
+                if state is VcState.WAITING_VA:
+                    if cycle >= vc.queue[0][1] + head_delay:
+                        key = int(port.direction) * num_vcs + vci
+                        va_requests.setdefault(vc.route, []).append((key, port, vci))
+                elif state is VcState.ACTIVE:
+                    active.append((port, vci, vc))
+        self._vc_allocate(cycle, va_requests, active)
+        self._switch_allocate(cycle, active)
+
+    def _vc_allocate(
+        self,
+        cycle: int,
+        requests: dict[Direction, list[tuple[int, InputPort, int]]],
+        active: list,
+    ) -> None:
+        for route, reqs in requests.items():
+            granted = self._grant_va(route, reqs)
+            if granted is None:
+                continue
+            _, port, vci = granted
+            vc = port.vcs[vci]
+            if route is Direction.LOCAL:
+                vc.out_vc = 0
+            else:
+                down_port = self.downstream_ports.get(route)
+                if down_port is None:
+                    raise RuntimeError(f"router {self.id}: route {route} off-mesh")
+                out_vc = down_port.free_vc_for_head()
+                if out_vc is None:
+                    continue  # no downstream VC free; retry next cycle
+                down_port.claim(out_vc)
+                vc.out_vc = out_vc
+            vc.state = VcState.ACTIVE
+            self.bst.record(port.direction, vci, route, vc.out_vc)
+            active.append((port, vci, vc))
+
+    def _grant_va(
+        self, route: Direction, reqs: list[tuple[int, InputPort, int]]
+    ) -> tuple[int, InputPort, int] | None:
+        arbiter = self._va_arbiters[route]
+        lines = [False] * arbiter.size
+        by_key = {}
+        for key, port, vci in reqs:
+            lines[key] = True
+            by_key[key] = (key, port, vci)
+        winner = arbiter.grant(lines)
+        return None if winner is None else by_key[winner]
+
+    def _switch_allocate(self, cycle: int, active: list) -> None:
+        if not active:
+            return
+        by_port: dict[Direction, list[tuple[int, VirtualChannel]]] = {}
+        for port, vci, vc in active:
+            by_port.setdefault(port.direction, []).append((vci, vc))
+        nominations: dict[Direction, list[tuple[Direction, int]]] = {}
+        for direction, cands in by_port.items():
+            choice = self._nominate(direction, cands, cycle)
+            if choice is not None:
+                vci, route = choice
+                nominations.setdefault(route, []).append((direction, vci))
+        for route, noms in nominations.items():
+            arbiter = self._output_arbiters[route]
+            for _ in range(self._grants_per_output):
+                lines = [False] * NUM_PORTS
+                by_dir = {}
+                for direction, vci in noms:
+                    lines[int(direction)] = True
+                    by_dir[int(direction)] = (direction, vci)
+                winner = arbiter.grant(lines)
+                if winner is None:
+                    break
+                direction, vci = by_dir[winner]
+                noms = [n for n in noms if n[0] is not direction]
+                self._switch_traverse(direction, vci, route, cycle)
+
+    def _nominate(
+        self,
+        direction: Direction,
+        candidates: list[tuple[int, "VirtualChannel"]],
+        cycle: int,
+    ) -> tuple[int, Direction] | None:
+        """Pick one ready VC of this input port (round-robin)."""
+        lines = [False] * self.noc.num_vcs
+        ready: dict[int, VirtualChannel] = {}
+        for vci, vc in candidates:
+            if not vc.queue:
+                continue
+            flit, enq = vc.queue[0]
+            delay = self._head_delay if flit.is_head else self._body_delay
+            if cycle < enq + delay:
+                continue
+            if not self._output_ready(vc.route, vc.out_vc, cycle):
+                continue
+            lines[vci] = True
+            ready[vci] = vc
+        if not ready:
+            return None
+        winner = self._port_arbiters[direction].grant(lines)
+        if winner is None:
+            return None
+        return winner, ready[winner].route
+
+    def _output_ready(self, route: Direction, out_vc: int, cycle: int) -> bool:
+        if route is Direction.LOCAL:
+            return True
+        channel = self.outgoing.get(route)
+        if channel is None:
+            return False
+        if not channel.can_accept(cycle):
+            return False
+        if channel.is_wire:
+            # A wire cannot store: require a downstream slot beyond the
+            # flits already in flight toward the same VC.
+            down_vc = self.downstream_ports[route].vcs[out_vc]
+            in_flight = sum(1 for e in channel.queue if e[0].vc == out_vc)
+            if down_vc.free_slots <= in_flight:
+                return False
+        return True
+
+    def _switch_traverse(
+        self, in_dir: Direction, vci: int, route: Direction, cycle: int
+    ) -> None:
+        port = self.input_ports[in_dir]
+        vc = port.vcs[vci]
+        flit = vc.pop()
+        self._flit_count -= 1
+        self.charge(self.power_model.hop_energy_pj(self.hop_scheme, via_bypass=False))
+        self.counters.out_flits[int(route)] += 1
+
+        is_tail = flit.is_tail
+        if route is Direction.LOCAL:
+            if is_tail:
+                self._close(port, vci, vc)
+            self.on_eject(flit, cycle)
+            return
+
+        channel = self.outgoing[route]
+        flit.vc = vc.out_vc
+        flit.hops += 1
+        keep_copy = channel.function is ChannelFunction.RETRANSMISSION
+        channel.send(flit, cycle, keep_copy=keep_copy, extra_latency=self.ecc_latency())
+        # Lookahead wakeup: power-gating designs signal the downstream
+        # router as the flit leaves the switch, overlapping the wakeup
+        # latency with the link traversal (no-op unless gated+bypassless).
+        downstream = self.downstream_routers.get(route)
+        if downstream is not None and downstream.gating.state is PowerState.GATED:
+            downstream.gating.request_wakeup(cycle)
+        if channel.is_wire and self.hop_scheme.per_hop:
+            # Baseline SECDED: the copy occupies this VC until the ACK.
+            vc.reserve()
+            self._reserved_count += 1
+            channel.pending_acks[flit] = (vc, self)
+        if is_tail:
+            self._close(port, vci, vc)
+
+    def _close(self, port: InputPort, vci: int, vc) -> None:
+        vc.close_packet()
+        self.bst.clear(port.direction, vci)
+        port.unclaim(vci)
+
+    # --- stress-relaxing bypass (Section 3.3) --------------------------------------
+
+    def bypass_overloaded(self) -> bool:
+        """Congestion watchdog: the single-flit bypass cannot keep up.
+
+        Power-gating bypass designs (EZ-pass and kin) wake the router when
+        incoming traffic exceeds what the bypass latch can forward; we wake
+        when at least two incoming MFACs are full.
+        """
+        congested = sum(1 for c in self.incoming.values() if c.congested)
+        return congested >= 2
+
+    def bypass_step(self, cycle: int, source) -> bool:
+        """Forward one flit through the bypass switch (gated router only).
+
+        *source* is the node's :class:`~repro.traffic.injection.SourceQueue`
+        so sporadic local traffic keeps flowing without a wakeup.
+        Returns True when a flit moved.
+        """
+        if self.gating.state is not PowerState.GATED or not self.technique.uses_bypass:
+            return False
+        lines = [False] * NUM_PORTS
+        candidates: dict[int, object] = {}
+        for direction, channel in self.incoming.items():
+            ready = channel.deliverable(cycle)
+            if ready:
+                lines[int(direction)] = True
+                candidates[int(direction)] = (channel, ready)
+        if source is not None and source.peek() is not None:
+            lines[int(Direction.LOCAL)] = True
+
+        # Try inputs in round-robin order until one flit actually moves.
+        for _ in range(NUM_PORTS):
+            winner = self._bypass_arbiter.grant(lines)
+            if winner is None:
+                return False
+            lines[winner] = False
+            if winner == int(Direction.LOCAL):
+                if self._bypass_inject(cycle, source):
+                    return True
+            else:
+                channel, ready = candidates[winner]
+                if self._bypass_forward(Direction(winner), channel, ready, cycle):
+                    return True
+        return False
+
+    def compute_route(self, dst: int) -> Direction:
+        """Route computation: deterministic X-Y by default, or turn-model
+        adaptive selection (congestion- and fault-aware) when configured."""
+        candidates = self._candidates(self.id, dst, self.mesh_width)
+        if len(candidates) == 1:
+            return candidates[0]
+        return select_output(
+            candidates,
+            free_slots=lambda d: sum(
+                vc.free_slots for vc in self.downstream_ports[d].vcs
+            ),
+            neighbor_failed=lambda d: self.downstream_routers[d].failed,
+        )
+
+    def _bypass_route_for(self, in_dir: Direction, flit: Flit, cycle: int):
+        """(route, out_vc) for a bypassed flit, or None when blocked."""
+        if flit.is_head:
+            route = self.compute_route(flit.packet.dst)
+            if route is Direction.LOCAL:
+                return route, 0
+            out_vc = self._allocate_bypass_vc(route)
+            if out_vc is None:
+                return None
+            if not self.outgoing[route].can_accept(cycle):
+                self.downstream_ports[route].unclaim(out_vc)
+                return None
+            return route, out_vc
+        entry = self.bst.lookup(in_dir, flit.vc)
+        if entry is None:
+            raise RuntimeError(f"router {self.id}: bypassed body flit without BST entry")
+        if entry.output_port is Direction.LOCAL:
+            return entry.output_port, entry.out_vc
+        if not self.outgoing[entry.output_port].can_accept(cycle):
+            return None
+        return entry.output_port, entry.out_vc
+
+    def _allocate_bypass_vc(self, route: Direction) -> int | None:
+        down_port = self.downstream_ports.get(route)
+        if down_port is None:
+            return None
+        out_vc = down_port.free_vc_for_head()
+        if out_vc is None:
+            return None
+        down_port.claim(out_vc)
+        return out_vc
+
+    def _bypass_forward(
+        self, in_dir: Direction, channel: Channel, ready: list[list], cycle: int
+    ) -> bool:
+        blocked_vcs: set[int] = set()
+        for entry in ready:
+            flit: Flit = entry[0]
+            if flit.vc in blocked_vcs:
+                continue  # an older same-VC flit is blocked; keep order
+            routed = self._bypass_route_for(in_dir, flit, cycle)
+            if routed is None:
+                blocked_vcs.add(flit.vc)
+                continue
+            route, out_vc = routed
+            channel.remove(entry)
+            channel.acknowledge(flit)
+            pending = channel.pending_acks.pop(flit, None)
+            if pending is not None:
+                upstream_vc, owner = pending
+                upstream_vc.release()
+                owner._reserved_count -= 1
+            # The gated router's decoder is off: link errors accumulate on
+            # the flit for the end-to-end CRC to catch at the destination.
+            if entry[2] is None and self.sample_link_errors is not None:
+                entry[2] = self.sample_link_errors(channel)
+            flit.bit_errors += entry[2] or 0
+            in_vc = flit.vc
+            if flit.is_head:
+                self.bst.record(in_dir, in_vc, route, out_vc)
+                flit.packet.path.append(self.id)
+            self.charge(self.power_model.hop_energy_pj(self.hop_scheme, via_bypass=True))
+            self.counters.in_flits[int(in_dir)] += 1
+            self.counters.out_flits[int(route)] += 1
+            if route is Direction.LOCAL:
+                if flit.is_tail:
+                    self._bypass_close(in_dir, in_vc)
+                self.on_eject(flit, cycle)
+                return True
+            flit.vc = out_vc
+            flit.hops += 1
+            out_channel = self.outgoing[route]
+            out_channel.send(
+                flit,
+                cycle,
+                keep_copy=out_channel.function is ChannelFunction.RETRANSMISSION,
+            )
+            if flit.is_tail:
+                self._bypass_close(in_dir, in_vc)
+            return True
+        return False
+
+    def _bypass_close(self, in_dir: Direction, in_vc: int) -> None:
+        self.bst.clear(in_dir, in_vc)
+        port = self.input_ports[in_dir]
+        vc = port.vcs[in_vc]
+        if vc.state is not VcState.IDLE and not vc.queue:
+            vc.close_packet()
+        port.unclaim(in_vc)
+
+    def _bypass_inject(self, cycle: int, source) -> bool:
+        flit = source.peek()
+        if flit is None:
+            return False
+        if flit.is_head:
+            in_vc = self.input_ports[Direction.LOCAL].free_vc_for_head()
+            if in_vc is None:
+                return False
+            route = self.compute_route(flit.packet.dst)
+            out_vc = self._allocate_bypass_vc(route)
+            if out_vc is None:
+                return False
+            if not self.outgoing[route].can_accept(cycle):
+                self.downstream_ports[route].unclaim(out_vc)
+                return False
+            self.input_ports[Direction.LOCAL].claim(in_vc)
+            source.current_vc = in_vc
+            self.bst.record(Direction.LOCAL, in_vc, route, out_vc)
+            flit.packet.injection_cycle = cycle
+            flit.packet.path.append(self.id)
+        else:
+            in_vc = source.current_vc
+            if in_vc is None:
+                raise RuntimeError(f"router {self.id}: bypass body inject without VC")
+            entry = self.bst.lookup(Direction.LOCAL, in_vc)
+            if entry is None:
+                raise RuntimeError(f"router {self.id}: bypass body inject without BST")
+            route, out_vc = entry.output_port, entry.out_vc
+            if not self.outgoing[route].can_accept(cycle):
+                return False
+        source.pop()
+        self.charge(self.power_model.hop_energy_pj(self.hop_scheme, via_bypass=True))
+        self.counters.out_flits[int(route)] += 1
+        flit.vc = out_vc
+        flit.hops += 1
+        out_channel = self.outgoing[route]
+        out_channel.send(
+            flit,
+            cycle,
+            keep_copy=out_channel.function is ChannelFunction.RETRANSMISSION,
+        )
+        if flit.is_tail:
+            self._bypass_close(Direction.LOCAL, in_vc)
+            source.current_vc = None
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"Router({self.id}, mode={self.mode}, {self.gating.state.value}, "
+            f"flits={self._flit_count})"
+        )

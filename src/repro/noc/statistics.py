@@ -1,0 +1,135 @@
+"""Run and epoch statistics.
+
+Two scopes:
+
+* **run totals** — everything the experiment harness reports (latency
+  distribution, retransmissions, correction counts, execution time).
+* **epoch counters** — per-router activity over the current RL/control
+  epoch, feeding the state features of Fig. 7, the reward of Eq. 1, and
+  the CPD heuristic; reset at every control step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.noc.routing import NUM_PORTS
+
+
+@dataclass
+class RouterEpochCounters:
+    """Per-router activity within the current control epoch."""
+
+    in_flits: np.ndarray = field(default_factory=lambda: np.zeros(NUM_PORTS, dtype=np.int64))
+    out_flits: np.ndarray = field(default_factory=lambda: np.zeros(NUM_PORTS, dtype=np.int64))
+    occupancy_samples: np.ndarray = field(
+        default_factory=lambda: np.zeros(NUM_PORTS, dtype=np.float64)
+    )
+    num_occupancy_samples: int = 0
+    # Error-class histogram of flits received this epoch:
+    # [clean, 1-bit, 2-bit, >=3-bit] — drives the CPD heuristic.
+    error_classes: np.ndarray = field(default_factory=lambda: np.zeros(4, dtype=np.int64))
+    latency_sum: int = 0  # latency of packets sourced here that completed
+    latency_count: int = 0
+
+    def reset(self) -> None:
+        self.in_flits[:] = 0
+        self.out_flits[:] = 0
+        self.occupancy_samples[:] = 0
+        self.num_occupancy_samples = 0
+        self.error_classes[:] = 0
+        self.latency_sum = 0
+        self.latency_count = 0
+
+    def record_error_class(self, bit_errors: int) -> None:
+        self.error_classes[min(bit_errors, 3)] += 1
+
+    def mean_buffer_utilization(self) -> np.ndarray:
+        if self.num_occupancy_samples == 0:
+            return np.zeros(NUM_PORTS)
+        return self.occupancy_samples / self.num_occupancy_samples
+
+
+class NetworkStatistics:
+    """Whole-run statistics plus per-router epoch counters."""
+
+    def __init__(self, num_routers: int):
+        self.num_routers = num_routers
+        self.routers = [RouterEpochCounters() for _ in range(num_routers)]
+
+        # Run totals.
+        self.packets_injected = 0
+        self.packets_completed = 0
+        self.flits_delivered = 0  # flit-hops over links
+        self.latency_sum = 0
+        self.latency_count = 0
+        self.latencies: list[int] = []  # per-packet, for percentiles
+        self.hop_retransmissions = 0  # per-hop NACK replays (flits)
+        self.e2e_retransmission_flits = 0  # flits re-injected end to end
+        self.corrected_flits = 0
+        self.silent_corruptions = 0  # flits past the detection envelope
+        self.corrupted_packets_delivered = 0
+        self.bypass_traversals = 0
+        self.wakeups = 0
+        self.mode_cycles: dict[int, int] = {m: 0 for m in range(5)}
+        self.last_completion_cycle = 0
+
+    # --- packet lifecycle -----------------------------------------------------
+
+    def record_injection(self) -> None:
+        self.packets_injected += 1
+
+    def record_completion(
+        self,
+        latency: int,
+        src_router: int,
+        cycle: int,
+        path: list[int] | None = None,
+    ) -> None:
+        self.packets_completed += 1
+        self.latency_sum += latency
+        self.latency_count += 1
+        self.latencies.append(latency)
+        self.last_completion_cycle = cycle
+        # Eq. 1's Latency_i: the end-to-end latency of "the specific router
+        # i" is attributed to every router the packet transited, so a slow
+        # router feels the slowdown it causes to through-traffic.
+        routers = path if path else [src_router]
+        for rid in routers:
+            ctr = self.routers[rid]
+            ctr.latency_sum += latency
+            ctr.latency_count += 1
+
+    @property
+    def average_latency(self) -> float:
+        if self.latency_count == 0:
+            raise ValueError("no packets completed")
+        return self.latency_sum / self.latency_count
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.latencies:
+            raise ValueError("no packets completed")
+        return float(np.percentile(self.latencies, q))
+
+    @property
+    def total_retransmitted_flits(self) -> int:
+        """Fig. 15's metric: per-hop replays plus end-to-end re-injections."""
+        return self.hop_retransmissions + self.e2e_retransmission_flits
+
+    # --- epoch handling ---------------------------------------------------------
+
+    def reset_epoch(self) -> None:
+        for ctr in self.routers:
+            ctr.reset()
+
+    def record_mode_cycles(self, mode: int, cycles: int) -> None:
+        self.mode_cycles[mode] = self.mode_cycles.get(mode, 0) + cycles
+
+    def mode_breakdown(self) -> dict[int, float]:
+        """Fraction of router-cycles spent in each operation mode (Fig. 14)."""
+        total = sum(self.mode_cycles.values())
+        if total == 0:
+            return {m: 0.0 for m in self.mode_cycles}
+        return {m: c / total for m, c in sorted(self.mode_cycles.items())}

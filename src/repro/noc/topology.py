@@ -1,0 +1,63 @@
+"""2D-mesh topology arithmetic."""
+
+from __future__ import annotations
+
+from repro.noc.routing import MESH_DIRECTIONS, Direction
+
+
+class MeshTopology:
+    """Coordinates, neighbors and channel enumeration for a W x H mesh.
+
+    >>> m = MeshTopology(8, 8)
+    >>> m.neighbor(0, Direction.EAST)
+    1
+    >>> m.neighbor(0, Direction.WEST) is None
+    True
+    """
+
+    def __init__(self, width: int, height: int):
+        if width < 2 or height < 2:
+            raise ValueError("mesh must be at least 2x2")
+        self.width = width
+        self.height = height
+
+    @property
+    def num_routers(self) -> int:
+        return self.width * self.height
+
+    def coordinates(self, router: int) -> tuple[int, int]:
+        self._check(router)
+        return router % self.width, router // self.width
+
+    def router_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"({x}, {y}) outside the {self.width}x{self.height} mesh")
+        return y * self.width + x
+
+    def neighbor(self, router: int, direction: Direction) -> int | None:
+        """Neighbor id in *direction*, or None at a mesh edge."""
+        self._check(router)
+        x, y = self.coordinates(router)
+        if direction is Direction.EAST:
+            return router + 1 if x < self.width - 1 else None
+        if direction is Direction.WEST:
+            return router - 1 if x > 0 else None
+        if direction is Direction.NORTH:
+            return router + self.width if y < self.height - 1 else None
+        if direction is Direction.SOUTH:
+            return router - self.width if y > 0 else None
+        raise ValueError("LOCAL has no neighbor")
+
+    def channels(self) -> list[tuple[int, Direction, int]]:
+        """All directed channels as (src router, output direction, dst router)."""
+        out = []
+        for router in range(self.num_routers):
+            for direction in MESH_DIRECTIONS:
+                neighbor = self.neighbor(router, direction)
+                if neighbor is not None:
+                    out.append((router, direction, neighbor))
+        return out
+
+    def _check(self, router: int) -> None:
+        if not 0 <= router < self.num_routers:
+            raise ValueError(f"router {router} outside 0..{self.num_routers - 1}")

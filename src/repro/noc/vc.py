@@ -1,0 +1,133 @@
+"""Virtual channels and input ports.
+
+Each input port owns ``num_vcs`` virtual channels; each VC is a FIFO of
+(flit, enqueue_cycle) with the per-packet wormhole state the router pipeline
+needs (computed route, allocated output VC, activity state).
+
+``reserved`` models the paper's baseline SECDED retransmission cost: when
+copies of in-flight flits are "buffered in the current router's virtual
+channel until an ACK is received" (Section 3.2), the slot cannot be reused,
+which is exactly a reservation on the upstream VC.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+
+from repro.noc.flit import Flit
+from repro.noc.routing import Direction
+
+
+class VcState(enum.Enum):
+    IDLE = "idle"  # no packet owns this VC
+    ROUTING = "routing"  # head buffered, route computation pending
+    WAITING_VA = "waiting_va"  # route known, needs an output VC
+    ACTIVE = "active"  # output VC allocated, flits may traverse
+
+
+class VirtualChannel:
+    """One VC FIFO plus its wormhole state."""
+
+    __slots__ = ("depth", "queue", "state", "route", "out_vc", "reserved")
+
+    def __init__(self, depth: int):
+        if depth < 1:
+            raise ValueError("VC depth must be at least one flit")
+        self.depth = depth
+        self.queue: deque[tuple[Flit, int]] = deque()
+        self.state = VcState.IDLE
+        self.route: Direction | None = None
+        self.out_vc: int | None = None
+        self.reserved = 0  # slots held by unacked retransmission copies
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.queue) + self.reserved
+
+    @property
+    def free_slots(self) -> int:
+        return self.depth - self.occupancy
+
+    def can_accept(self) -> bool:
+        return self.free_slots > 0
+
+    def push(self, flit: Flit, cycle: int) -> None:
+        if not self.can_accept():
+            raise OverflowError("VC overflow: flow control must prevent this")
+        self.queue.append((flit, cycle))
+        if flit.is_head:
+            if self.state is not VcState.IDLE:
+                raise RuntimeError("head flit arrived at a busy VC")
+            self.state = VcState.ROUTING
+
+    def front(self) -> tuple[Flit, int] | None:
+        return self.queue[0] if self.queue else None
+
+    def pop(self) -> Flit:
+        flit, _ = self.queue.popleft()
+        return flit
+
+    def reserve(self) -> None:
+        """Hold one slot for an in-flight retransmission copy."""
+        self.reserved += 1
+
+    def release(self) -> None:
+        """ACK received: the copy's slot is free again."""
+        if self.reserved <= 0:
+            raise RuntimeError("release without a matching reserve")
+        self.reserved -= 1
+
+    def close_packet(self) -> None:
+        """Tail departed: return to IDLE for the next packet."""
+        self.state = VcState.IDLE
+        self.route = None
+        self.out_vc = None
+
+
+class InputPort:
+    """All VCs of one router input direction.
+
+    ``claimed`` holds VC indices promised to in-flight packets by the
+    upstream VA (or by the BST while the router is gated), so two packets
+    never get allocated the same downstream VC.
+    """
+
+    __slots__ = ("direction", "vcs", "claimed")
+
+    def __init__(self, direction: Direction, num_vcs: int, depth: int):
+        self.direction = direction
+        self.vcs = [VirtualChannel(depth) for _ in range(num_vcs)]
+        self.claimed: set[int] = set()
+
+    def vc(self, index: int) -> VirtualChannel:
+        return self.vcs[index]
+
+    def total_occupancy(self) -> int:
+        return sum(vc.occupancy for vc in self.vcs)
+
+    def total_capacity(self) -> int:
+        return sum(vc.depth for vc in self.vcs)
+
+    def has_flits(self) -> bool:
+        return any(vc.queue for vc in self.vcs)
+
+    def free_vc_for_head(self) -> int | None:
+        """A VC able to start a new packet (IDLE, unclaimed, with space)."""
+        for i, vc in enumerate(self.vcs):
+            if (
+                vc.state is VcState.IDLE
+                and i not in self.claimed
+                and vc.can_accept()
+                and vc.reserved == 0
+            ):
+                return i
+        return None
+
+    def claim(self, index: int) -> None:
+        if index in self.claimed:
+            raise RuntimeError(f"VC {index} is already claimed")
+        self.claimed.add(index)
+
+    def unclaim(self, index: int) -> None:
+        self.claimed.discard(index)

@@ -1,0 +1,20 @@
+"""Power, energy, and area models (ORION-style substitute, Section 6/7.4).
+
+* :mod:`repro.power.model` — per-event dynamic energies and per-component
+  leakage for a router/channel configuration.
+* :mod:`repro.power.accounting` — run-time energy bookkeeping per router
+  and per epoch (feeds thermal model, RL reward, and Figs. 11-13).
+* :mod:`repro.power.area` — area composition reproducing Table 2.
+"""
+
+from repro.power.accounting import EnergyAccountant, EpochPower
+from repro.power.area import AreaModel, PAPER_TABLE2
+from repro.power.model import PowerModel
+
+__all__ = [
+    "AreaModel",
+    "EnergyAccountant",
+    "EpochPower",
+    "PAPER_TABLE2",
+    "PowerModel",
+]

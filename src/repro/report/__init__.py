@@ -1,0 +1,6 @@
+"""Campaign report generation (Markdown + ASCII charts)."""
+
+from repro.report.charts import bar_chart, horizontal_bar
+from repro.report.markdown import CampaignReport, write_report
+
+__all__ = ["CampaignReport", "bar_chart", "horizontal_bar", "write_report"]

@@ -1,0 +1,52 @@
+"""ASCII chart primitives for terminal/Markdown reports."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+
+def horizontal_bar(value: float, scale: float, width: int = 40, char: str = "#") -> str:
+    """One bar scaled so ``scale`` fills ``width`` characters.
+
+    >>> horizontal_bar(0.5, 1.0, width=8)
+    '####'
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if width < 1:
+        raise ValueError("width must be positive")
+    if value < 0:
+        raise ValueError("bars cannot be negative")
+    cells = round(min(value / scale, 1.0) * width)
+    return char * cells
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    reference: str | None = None,
+    fmt: str = "{:.2f}",
+) -> str:
+    """A labeled horizontal bar chart.
+
+    With *reference* set, that entry's bar is drawn with ``=`` so the
+    baseline stands out in normalized comparisons.
+
+    >>> print(bar_chart({"a": 1.0, "b": 0.5}, width=8))
+    a | ######## 1.00
+    b | ####     0.50
+    """
+    if not values:
+        raise ValueError("nothing to chart")
+    label_width = max(len(k) for k in values)
+    scale = max(values.values())
+    if scale <= 0:
+        scale = 1.0
+    lines = []
+    for key, value in values.items():
+        char = "=" if key == reference else "#"
+        bar = horizontal_bar(max(0.0, value), scale, width, char)
+        lines.append(
+            f"{key.ljust(label_width)} | {bar.ljust(width)} " + fmt.format(value)
+        )
+    return "\n".join(lines)

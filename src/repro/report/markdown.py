@@ -1,0 +1,119 @@
+"""Markdown campaign reports.
+
+Turns a completed :class:`~repro.core.experiment.ExperimentRunner` campaign
+into a single self-contained Markdown document: per-figure tables, ASCII
+bar charts of the suite averages, and a verdict line comparing each
+headline number against the paper's published value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.experiment import ExperimentRunner
+from repro.report.charts import bar_chart
+
+# The paper's published suite averages (normalized to the SECDED baseline).
+PAPER_HEADLINES = {
+    "speed-up": {"EB": 1.06, "CP": 0.97, "CPD": 1.08, "IntelliNoC": 1.16},
+    "latency": {"EB": 0.83, "IntelliNoC": 0.68},
+    "energy-efficiency": {"CPD": 1.36, "IntelliNoC": 1.67},
+    "mttf": {"IntelliNoC": 1.77},
+}
+
+
+@dataclass
+class CampaignReport:
+    """Builds the report from a runner whose campaign has been executed."""
+
+    runner: ExperimentRunner
+    title: str = "IntelliNoC reproduction — campaign report"
+    _sections: list[str] = field(default_factory=list, repr=False)
+
+    def build(self) -> str:
+        """Assemble the full Markdown document."""
+        self._sections = [self._header()]
+        figures = [
+            ("Fig. 9 — execution-time speed-up", self.runner.figure9_speedup,
+             "speed-up", True),
+            ("Fig. 10 — average end-to-end latency", self.runner.figure10_latency,
+             "latency", False),
+            ("Fig. 11 — static power", self.runner.figure11_static_power, None, False),
+            ("Fig. 12 — dynamic power", self.runner.figure12_dynamic_power, None, False),
+            ("Fig. 13 — energy-efficiency", self.runner.figure13_energy_efficiency,
+             "energy-efficiency", True),
+            ("Fig. 15 — re-transmission flits", self.runner.figure15_retransmissions,
+             None, False),
+            ("Fig. 16 — MTTF", self.runner.figure16_mttf, "mttf", True),
+        ]
+        for heading, figure, headline_key, higher_better in figures:
+            table, averages = figure()
+            self._sections.append(
+                self._figure_section(heading, table, averages, headline_key,
+                                     higher_better)
+            )
+        self._sections.append(self._mode_section())
+        return "\n\n".join(self._sections) + "\n"
+
+    def _header(self) -> str:
+        r = self.runner
+        benchmarks = ", ".join(r.benchmarks)
+        return (
+            f"# {self.title}\n\n"
+            f"* traces: {r.duration} cycles, seed {r.seed}\n"
+            f"* benchmarks: {benchmarks}\n"
+            f"* techniques: {', '.join(t.name for t in r.techniques)}\n"
+            f"* RL pre-training: {r.pretrain_cycles} cycles "
+            f"(blackscholes load sweep)"
+        )
+
+    def _figure_section(
+        self,
+        heading: str,
+        table: str,
+        averages: dict[str, float],
+        headline_key: str | None,
+        higher_better: bool,
+    ) -> str:
+        chart = bar_chart(averages, reference="SECDED")
+        parts = [f"## {heading}", "```", table, "", chart, "```"]
+        if headline_key and headline_key in PAPER_HEADLINES:
+            parts.append(self._verdicts(averages, PAPER_HEADLINES[headline_key],
+                                        higher_better))
+        return "\n".join(parts)
+
+    @staticmethod
+    def _verdicts(
+        averages: dict[str, float], paper: dict[str, float], higher_better: bool
+    ) -> str:
+        lines = []
+        for name, published in paper.items():
+            measured = averages.get(name)
+            if measured is None:
+                continue
+            direction_ok = (measured > 1.0) == (published > 1.0)
+            marker = "shape reproduced" if direction_ok else "SHAPE MISMATCH"
+            lines.append(
+                f"* {name}: paper {published:.2f}x, measured {measured:.2f}x "
+                f"— {marker}"
+            )
+        return "\n".join(lines)
+
+    def _mode_section(self) -> str:
+        table, average = self.runner.figure14_mode_breakdown()
+        chart = bar_chart(
+            {f"mode {m}": v for m, v in average.items()}, fmt="{:.0%}"
+        )
+        return "\n".join([
+            "## Fig. 14 — IntelliNoC operation-mode breakdown",
+            "```", table, "", chart, "```",
+            "paper average: mode 0 ~20%, mode 1 ~55%, modes 2-4 ~25%",
+        ])
+
+
+def write_report(runner: ExperimentRunner, path: str | Path) -> Path:
+    """Build and write the campaign report; returns the written path."""
+    path = Path(path)
+    path.write_text(CampaignReport(runner).build())
+    return path

@@ -1,0 +1,28 @@
+"""Per-router reinforcement learning (Section 5).
+
+* :mod:`repro.rl.state` — the 16-feature state vector of Fig. 7 and its
+  5-bin discretization.
+* :mod:`repro.rl.reward` — Eq. 1's log-space reward.
+* :mod:`repro.rl.qlearning` — sparse tabular Q-learning with the Eq. 2
+  temporal-difference update.
+* :mod:`repro.rl.policy` — epsilon-greedy action selection.
+* :mod:`repro.rl.agent` — one agent per router, tying the above together
+  over the three stages of Fig. 8.
+"""
+
+from repro.rl.agent import RouterAgent
+from repro.rl.policy import EpsilonGreedyPolicy
+from repro.rl.qlearning import QTable
+from repro.rl.reward import compute_reward
+from repro.rl.state import RouterObservation, StateExtractor
+
+# NOTE: repro.rl.persistence is imported directly (not re-exported here)
+# because it depends on repro.control.policies, which imports this package.
+__all__ = [
+    "EpsilonGreedyPolicy",
+    "QTable",
+    "RouterAgent",
+    "RouterObservation",
+    "StateExtractor",
+    "compute_reward",
+]

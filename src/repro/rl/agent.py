@@ -1,0 +1,73 @@
+"""Per-router RL agent (Fig. 8's three-stage loop).
+
+At every control time step the agent:
+
+1. looks up the discretized state in its local Q-table,
+2. selects the next operation mode (epsilon-greedy over Q(s, .)),
+3. on the *following* step, computes the Eq. 1 reward its previous action
+   earned and applies the Eq. 2 temporal-difference update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import RlConfig
+from repro.rl.policy import EpsilonGreedyPolicy
+from repro.rl.qlearning import QTable
+from repro.rl.reward import compute_reward
+from repro.rl.state import RouterObservation, StateExtractor
+
+NUM_OPERATION_MODES = 5
+
+
+class RouterAgent:
+    """The learner/decision-maker of one router."""
+
+    def __init__(self, router: int, config: RlConfig, rng: np.random.Generator):
+        self.router = router
+        self.config = config
+        self.extractor = StateExtractor(config.num_bins)
+        self.qtable = QTable(
+            NUM_OPERATION_MODES,
+            config.learning_rate,
+            config.discount,
+            config.max_table_entries,
+            preferred_action=config.initial_mode,
+        )
+        self.policy = EpsilonGreedyPolicy(config.epsilon, NUM_OPERATION_MODES, rng)
+        self.learning_enabled = True
+        self._prev_state: tuple | None = None
+        self._prev_action: int | None = None
+        self.last_reward = 0.0
+        self.steps = 0
+
+    def decide(self, obs: RouterObservation) -> int:
+        """One control step: learn from the last action, pick the next mode."""
+        state = self.extractor.extract(obs)
+        reward = compute_reward(obs.epoch_latency, obs.epoch_power_w, obs.aging_factor)
+        self.last_reward = reward
+        if (
+            self.learning_enabled
+            and self._prev_state is not None
+            and self._prev_action is not None
+        ):
+            self.qtable.update(self._prev_state, self._prev_action, reward, state)
+        action = self.policy.select(self.qtable.q_values(state))
+        self._prev_state = state
+        self._prev_action = action
+        self.steps += 1
+        return action
+
+    def freeze(self) -> None:
+        """Stop updating Q-values (deploy the learned policy as-is)."""
+        self.learning_enabled = False
+
+    def load_policy(self, source: "RouterAgent") -> None:
+        """Adopt another agent's Q-table (pre-training, Section 6.3)."""
+        source.qtable.clone_into(self.qtable)
+
+    def reset_episode(self) -> None:
+        """Forget the previous (s, a) pair without dropping the table."""
+        self._prev_state = None
+        self._prev_action = None

@@ -1,0 +1,32 @@
+"""Workload generation.
+
+* :mod:`repro.traffic.trace` — trace events and (de)serialization, the
+  common currency between generators and the simulator (Netrace's role).
+* :mod:`repro.traffic.patterns` — classic synthetic patterns (uniform,
+  transpose, bit-complement, shuffle, tornado, neighbor, hotspot).
+* :mod:`repro.traffic.parsec` — synthetic per-benchmark PARSEC profiles
+  (the paper's Netrace-captured traces, substituted as documented in
+  DESIGN.md).
+* :mod:`repro.traffic.injection` — per-node source queues feeding the
+  network's injection ports.
+"""
+
+from repro.traffic.analysis import TraceProfile, analyze_trace, destination_heatmap
+from repro.traffic.injection import SourceQueue
+from repro.traffic.parsec import PARSEC_PROFILES, BenchmarkProfile, generate_parsec_trace
+from repro.traffic.patterns import SyntheticPattern, generate_synthetic_trace
+from repro.traffic.trace import Trace, TraceEvent
+
+__all__ = [
+    "BenchmarkProfile",
+    "TraceProfile",
+    "analyze_trace",
+    "destination_heatmap",
+    "PARSEC_PROFILES",
+    "SourceQueue",
+    "SyntheticPattern",
+    "Trace",
+    "TraceEvent",
+    "generate_parsec_trace",
+    "generate_synthetic_trace",
+]

@@ -1,0 +1,108 @@
+"""Trace analysis: the workload-characterization side of the methodology.
+
+Given any :class:`~repro.traffic.trace.Trace` (generated or loaded), these
+helpers quantify the three axes the PARSEC profiles encode — intensity,
+spatial skew, temporal structure — so a user can verify that a synthetic
+trace matches the workload they intend to model, or characterize a trace
+they brought themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traffic.trace import Trace
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Measured characteristics of a trace."""
+
+    packets: int
+    flits: int
+    duration: int
+    injection_rate: float  # packets/node/cycle
+    offered_load: float  # flits/node/cycle
+    reply_fraction: float
+    avg_hop_distance: float  # Manhattan hops between endpoints
+    hotspot_concentration: float  # traffic share of the top-4 destinations
+    locality_fraction: float  # packets within 2 hops
+    burstiness_index: float  # variance/mean of per-epoch counts (1 = Poisson)
+    busiest_destination: int
+
+    def summary(self) -> str:
+        return (
+            f"{self.packets} packets / {self.flits} flits over {self.duration} "
+            f"cycles; rate {self.injection_rate:.4f} pkt/node/cyc; "
+            f"avg distance {self.avg_hop_distance:.2f} hops; "
+            f"top-4 dst share {self.hotspot_concentration:.0%}; "
+            f"burstiness {self.burstiness_index:.2f}"
+        )
+
+
+def analyze_trace(
+    trace: Trace, num_nodes: int, width: int, epoch: int = 100
+) -> TraceProfile:
+    """Measure a trace's intensity, spatial skew, and temporal structure."""
+    if num_nodes < 1 or width < 1:
+        raise ValueError("need a positive topology")
+    if epoch < 1:
+        raise ValueError("epoch must be positive")
+    if not len(trace):
+        raise ValueError("cannot analyze an empty trace")
+
+    span = trace.duration + 1
+    srcs = np.array([e.src for e in trace])
+    dsts = np.array([e.dst for e in trace])
+    cycles = np.array([e.cycle for e in trace])
+    replies = np.array([e.reply for e in trace])
+
+    hops = np.abs(srcs % width - dsts % width) + np.abs(srcs // width - dsts // width)
+    dst_counts = np.bincount(dsts, minlength=num_nodes)
+    top4 = np.sort(dst_counts)[-4:].sum()
+
+    epoch_counts = np.bincount(cycles // epoch, minlength=max(1, span // epoch))
+    mean = epoch_counts.mean()
+    burstiness = float(epoch_counts.var() / mean) if mean > 0 else 0.0
+
+    return TraceProfile(
+        packets=len(trace),
+        flits=trace.total_flits,
+        duration=span,
+        injection_rate=len(trace) / (span * num_nodes),
+        offered_load=trace.offered_load(num_nodes),
+        reply_fraction=float(replies.mean()),
+        avg_hop_distance=float(hops.mean()),
+        hotspot_concentration=float(top4 / len(trace)),
+        locality_fraction=float((hops <= 2).mean()),
+        burstiness_index=burstiness,
+        busiest_destination=int(dst_counts.argmax()),
+    )
+
+
+def destination_heatmap(trace: Trace, width: int, height: int) -> np.ndarray:
+    """Per-node destination counts as a (height, width) grid (row 0 south)."""
+    grid = np.zeros((height, width), dtype=np.int64)
+    for event in trace:
+        grid[event.dst // width, event.dst % width] += 1
+    return grid
+
+
+def render_heatmap(grid: np.ndarray, levels: str = " .:-=+*#%@") -> str:
+    """ASCII rendering of a heatmap grid, hottest rows on top."""
+    if grid.size == 0:
+        raise ValueError("empty grid")
+    peak = grid.max()
+    lines = []
+    for row in grid[::-1]:  # top row printed first
+        if peak == 0:
+            lines.append(levels[0] * len(row))
+            continue
+        chars = [
+            levels[min(len(levels) - 1, int(v / peak * (len(levels) - 1)))]
+            for v in row
+        ]
+        lines.append("".join(chars))
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Per-node source queues feeding the injection ports.
+
+A :class:`SourceQueue` holds the packets a node has produced but not yet
+pushed into the network, flit by flit, in order.  The network interface
+injects at most one flit per cycle; when the local router is power-gated
+with the stress-relaxing bypass, the bypass switch pulls flits from here
+directly (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.noc.flit import Flit, Packet
+
+
+class SourceQueue:
+    """FIFO of pending packets at one node, exposed flit by flit."""
+
+    def __init__(self, node: int):
+        self.node = node
+        self._packets: deque[Packet] = deque()
+        self._current_flits: deque[Flit] = deque()
+        self._current_packet: Packet | None = None
+        self.packets_enqueued = 0
+        # Input VC (at the local router) the in-flight packet's head claimed;
+        # body flits must follow it.  Managed by the injection logic.
+        self.current_vc: int | None = None
+
+    def enqueue(self, packet: Packet) -> None:
+        if packet.src != self.node:
+            raise ValueError(f"packet src {packet.src} does not match node {self.node}")
+        self._packets.append(packet)
+        self.packets_enqueued += 1
+
+    def requeue_front(self, packet: Packet) -> None:
+        """Put a packet at the head of the queue (end-to-end retransmission)."""
+        if self._current_packet is not None and self._current_flits:
+            # A packet is mid-injection; the retry goes right after it.
+            self._packets.appendleft(packet)
+        else:
+            self._packets.appendleft(packet)
+
+    @property
+    def pending_packets(self) -> int:
+        return len(self._packets) + (1 if self._current_flits else 0)
+
+    def is_empty(self) -> bool:
+        return not self._packets and not self._current_flits
+
+    def _refill(self) -> None:
+        if not self._current_flits and self._packets:
+            self._current_packet = self._packets.popleft()
+            self._current_flits.extend(self._current_packet.make_flits())
+
+    def peek(self) -> Flit | None:
+        """Next flit to inject, without consuming it."""
+        self._refill()
+        return self._current_flits[0] if self._current_flits else None
+
+    def pop(self) -> Flit:
+        """Consume the next flit (caller must have peeked successfully)."""
+        self._refill()
+        if not self._current_flits:
+            raise IndexError(f"node {self.node}: source queue is empty")
+        return self._current_flits.popleft()
+
+    def current_packet(self) -> Packet | None:
+        self._refill()
+        return self._current_packet if self._current_flits else None

@@ -1,0 +1,6 @@
+"""Shared utilities: deterministic RNG handling and table formatting."""
+
+from repro.utils.rng import RngFactory, make_rng
+from repro.utils.tables import format_table, normalize_map
+
+__all__ = ["RngFactory", "make_rng", "format_table", "normalize_map"]

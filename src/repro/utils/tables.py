@@ -1,0 +1,88 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmark targets print the same rows/series the paper's figures report;
+these helpers keep that output consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render an ASCII table.
+
+    Floats are formatted with *float_fmt*; everything else with ``str``.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+------
+    1 | 2.500
+    """
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, bool):
+                cells.append(str(value))
+            elif isinstance(value, float):
+                cells.append(float_fmt.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+
+    widths = [len(h) for h in headers]
+    for cells in rendered:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(headers))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(cells) for cells in rendered)
+    return "\n".join(lines)
+
+
+def normalize_map(
+    values: Mapping[str, float], baseline_key: str, invert: bool = False
+) -> dict[str, float]:
+    """Normalize a metric map to its baseline entry, paper-style.
+
+    With ``invert=True`` the ratio is baseline/value instead of
+    value/baseline (used for "higher is better" speed-up style metrics
+    derived from "lower is better" raw values such as execution time).
+
+    >>> normalize_map({"base": 2.0, "x": 1.0}, "base")
+    {'base': 1.0, 'x': 0.5}
+    """
+    if baseline_key not in values:
+        raise KeyError(f"baseline {baseline_key!r} missing from {sorted(values)}")
+    base = values[baseline_key]
+    if base == 0:
+        raise ZeroDivisionError(f"baseline {baseline_key!r} metric is zero")
+    if invert:
+        return {k: base / v for k, v in values.items()}
+    return {k: v / base for k, v in values.items()}
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, the conventional aggregate for normalized ratios."""
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"geometric_mean requires positive values, got {v}")
+        product *= v
+    return product ** (1.0 / len(values))

@@ -1,0 +1,95 @@
+"""Property-based tests on channel flow-control invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.channels.mfac import Channel, ChannelFunction
+from repro.noc.flit import Packet
+from repro.noc.routing import Direction
+
+
+def fresh_channel(depth, links, function):
+    ch = Channel(
+        0, Direction.EAST, 1,
+        buffer_depth=depth, links=links, link_latency=1,
+        is_mfac=links >= 2,
+    )
+    if function is not ChannelFunction.NORMAL:
+        ch.set_function(function)
+    return ch
+
+
+operations = st.lists(
+    st.sampled_from(["send", "deliver", "nack", "tick"]), min_size=1, max_size=120
+)
+functions = st.sampled_from(list(ChannelFunction))
+
+
+class TestChannelInvariants:
+    @given(operations, functions)
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, ops, function):
+        ch = fresh_channel(8, 2, function)
+        flits = iter(Packet.create(0, 1, 200, 0).make_flits())
+        cycle = 0
+        in_channel = 0
+        for op in ops:
+            if op == "send" and ch.can_accept(cycle):
+                ch.send(
+                    next(flits), cycle,
+                    keep_copy=function is ChannelFunction.RETRANSMISSION,
+                )
+                in_channel += 1
+            elif op == "deliver":
+                ready = ch.deliverable(cycle)
+                if ready:
+                    entry = ready[0]
+                    ch.remove(entry)
+                    ch.acknowledge(entry[0])
+                    in_channel -= 1
+            elif op == "nack":
+                ready = ch.deliverable(cycle)
+                if ready:
+                    ch.nack_resend(ready[0], cycle)
+            else:
+                cycle += 1
+            assert len(ch.queue) <= ch.capacity
+            assert len(ch.queue) == in_channel
+            if function is ChannelFunction.RETRANSMISSION:
+                assert len(ch.copies) <= ch.stages_per_link
+
+    @given(operations)
+    @settings(max_examples=40, deadline=None)
+    def test_per_flit_order_preserved_without_nack(self, ops):
+        """Flits delivered from a NORMAL channel come out in send order."""
+        ch = fresh_channel(8, 2, ChannelFunction.NORMAL)
+        flits = iter(Packet.create(0, 1, 200, 0).make_flits())
+        sent, delivered = [], []
+        cycle = 0
+        for op in ops:
+            if op in ("send", "nack") and ch.can_accept(cycle):
+                f = next(flits)
+                ch.send(f, cycle)
+                sent.append(f)
+            elif op == "deliver":
+                ready = ch.deliverable(cycle)
+                if ready:
+                    ch.remove(ready[0])
+                    delivered.append(ready[0][0])
+            else:
+                cycle += 1
+        assert delivered == sent[: len(delivered)]
+
+    @given(st.integers(0, 40), functions)
+    @settings(max_examples=40, deadline=None)
+    def test_bandwidth_budget_enforced(self, extra_attempts, function):
+        ch = fresh_channel(8, 2, function)
+        flits = iter(Packet.create(0, 1, 100, 0).make_flits())
+        accepted = 0
+        for _ in range(ch.bandwidth + extra_attempts):
+            if ch.can_accept(0):
+                ch.send(
+                    next(flits), 0,
+                    keep_copy=function is ChannelFunction.RETRANSMISSION,
+                )
+                accepted += 1
+        assert accepted <= ch.bandwidth

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.technique == "intellinoc"
+        assert args.benchmark == "bod"
+
+    def test_unknown_technique_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--technique", "magic"])
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--benchmark", "doom3"])
+
+
+class TestCommands:
+    def test_run_prints_metrics(self, capsys):
+        rc = main(["run", "--technique", "secded", "--benchmark", "swa",
+                   "--duration", "1000", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "SECDED on 'swa'" in out
+        assert "avg latency" in out
+
+    def test_area_matches_table2(self, capsys):
+        rc = main(["area"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "119807.0" in out
+        assert "-32.7" in out
+
+    def test_trace_roundtrip(self, tmp_path, capsys):
+        out_file = tmp_path / "t.jsonl"
+        rc = main(["trace", "--benchmark", "swa", "--duration", "1000",
+                   "--out", str(out_file)])
+        assert rc == 0
+        from repro.traffic.trace import Trace
+
+        trace = Trace.load(out_file)
+        assert len(trace) > 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_sweep_unknown_knob_fails(self, capsys):
+        rc = main(["sweep", "--knob", "nonsense", "--values", "1"])
+        assert rc == 2
+
+    def test_sweep_gamma_small(self, capsys):
+        rc = main(["sweep", "--knob", "gamma", "--values", "0.9",
+                   "--duration", "800", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Sensitivity sweep" in out
+
+    def test_campaign_single_figure(self, capsys):
+        rc = main(["campaign", "--benchmarks", "swa", "--duration", "800",
+                   "--pretrain", "1000", "--figures", "latency", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Fig. 10" in out
+
+    def test_campaign_unknown_figure(self, capsys):
+        rc = main(["campaign", "--benchmarks", "swa", "--duration", "800",
+                   "--figures", "pie-chart"])
+        assert rc == 2

@@ -1,0 +1,77 @@
+"""Tests for the top-level IntelliNoCSystem facade."""
+
+import pytest
+
+from repro.config import FaultConfig, INTELLINOC, technique
+from repro.core.intellinoc import IntelliNoCSystem, pretrain_agents
+from repro.control.policies import RlPolicy
+
+
+QUIET = FaultConfig(base_bit_error_rate=1e-9)
+
+
+class TestConstruction:
+    def test_by_name(self):
+        assert IntelliNoCSystem("secded").technique.name == "SECDED"
+        assert IntelliNoCSystem("intellinoc").technique.name == "IntelliNoC"
+
+    def test_by_config(self):
+        assert IntelliNoCSystem(INTELLINOC).technique is INTELLINOC
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            IntelliNoCSystem("nonsense")
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            IntelliNoCSystem("secded").make_trace("doom3", 1000)
+
+
+class TestRunning:
+    def test_run_benchmark_returns_metrics(self):
+        system = IntelliNoCSystem("secded", seed=2, faults=QUIET)
+        metrics = system.run_benchmark("swa", duration=1500)
+        assert metrics.packets_completed > 0
+        assert metrics.workload == "swa"
+        assert system.last_network is not None
+
+    def test_same_seed_reproducible(self):
+        a = IntelliNoCSystem("cp", seed=9, faults=QUIET).run_benchmark("swa", 1500)
+        b = IntelliNoCSystem("cp", seed=9, faults=QUIET).run_benchmark("swa", 1500)
+        assert a.latency.mean == b.latency.mean
+        assert a.total_energy_j == b.total_energy_j
+
+    def test_run_trace_uses_given_trace(self):
+        system = IntelliNoCSystem("secded", seed=2, faults=QUIET)
+        trace = system.make_trace("swa", 1200)
+        metrics = system.run_trace(trace)
+        assert metrics.workload == "swa"
+
+    def test_scaled_faults_copy(self):
+        system = IntelliNoCSystem("secded", seed=2)
+        scaled = system.scaled_faults(1e-7)
+        assert scaled.faults.base_bit_error_rate == 1e-7
+        assert system.faults.base_bit_error_rate != 1e-7
+
+
+class TestPretraining:
+    def test_pretrain_returns_trained_rl_policy(self):
+        policy = pretrain_agents(INTELLINOC, duration=3000, seed=2)
+        assert isinstance(policy, RlPolicy)
+        assert policy.max_table_entries() > 0
+        # Deployment epsilon restored.
+        assert policy.agents[0].policy.epsilon == INTELLINOC.rl.epsilon
+
+    def test_private_tables_after_pretraining(self):
+        policy = pretrain_agents(INTELLINOC, duration=3000, seed=2)
+        assert policy.agents[0].qtable is not policy.agents[1].qtable
+
+    def test_pretrain_rejects_non_rl_technique(self):
+        with pytest.raises(ValueError):
+            pretrain_agents(technique("cp"), duration=3000)
+
+    def test_with_pretrained_policy_runs(self):
+        system = IntelliNoCSystem("intellinoc", seed=2, faults=QUIET)
+        trained = system.with_pretrained_policy(duration=3000)
+        metrics = trained.run_benchmark("swa", duration=1500)
+        assert metrics.packets_completed > 0

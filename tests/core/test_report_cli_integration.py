@@ -1,0 +1,25 @@
+"""CLI + report integration: report generation from a tiny campaign."""
+
+from repro.config import INTELLINOC, SECDED_BASELINE
+from repro.core.experiment import ExperimentRunner
+from repro.report import CampaignReport, write_report
+
+
+class TestReportEndToEnd:
+    def test_report_from_live_campaign(self, tmp_path):
+        runner = ExperimentRunner(
+            duration=800,
+            seed=6,
+            benchmarks=["swa"],
+            techniques=[SECDED_BASELINE, INTELLINOC],
+            pretrain_cycles=1000,
+        )
+        path = write_report(runner, tmp_path / "campaign.md")
+        text = path.read_text()
+        # The report self-describes its configuration.
+        assert "800 cycles" in text
+        assert "swa" in text
+        # Charts render with the baseline highlighted.
+        assert "=" * 5 in text
+        # The verdict lines compare against the paper.
+        assert "paper" in text

@@ -1,0 +1,68 @@
+"""Additional sweep-driver behaviors not covered by the smoke tests."""
+
+import pytest
+
+from repro.core.sweep import SensitivitySweep, SweepPoint
+from repro.metrics.latency import LatencySummary
+from repro.metrics.reliability import ReliabilitySummary
+from repro.metrics.summary import RunMetrics
+
+
+def fake_metrics(total_energy=1e-6, cycles=1000, retx=5, delivered=100):
+    return RunMetrics(
+        technique="IntelliNoC",
+        workload="x",
+        execution_cycles=cycles,
+        packets_completed=50,
+        latency=LatencySummary(20.0, 20.0, 30.0, 35.0, 40, 50),
+        static_power_w=0.5,
+        dynamic_power_w=0.5,
+        total_energy_j=total_energy,
+        reliability=ReliabilitySummary(
+            hop_retransmissions=retx,
+            e2e_retransmission_flits=0,
+            corrected_flits=0,
+            silent_corruptions=0,
+            corrupted_packets_delivered=0,
+            flits_delivered=delivered,
+            mttf_seconds=1.0,
+            mean_aging_factor=1.0,
+            max_aging_factor=1.0,
+        ),
+    )
+
+
+class TestSweepPoint:
+    def test_edp_delegates_to_metrics(self):
+        point = SweepPoint(0.9, fake_metrics())
+        assert point.edp == pytest.approx(
+            fake_metrics().energy_delay_product
+        )
+
+    def test_retransmission_rate(self):
+        point = SweepPoint(0.9, fake_metrics(retx=10, delivered=200))
+        assert point.retransmission_rate == pytest.approx(0.05)
+
+
+class TestSweepConfiguration:
+    def test_time_step_propagates_to_technique(self):
+        sweep = SensitivitySweep(duration=600, seed=3)
+        variant = sweep.technique.with_rl(time_step=123)
+        assert variant.rl.time_step == 123
+
+    def test_default_benchmark_is_blackscholes(self):
+        """Section 6.3: the tuning benchmark is blackscholes."""
+        assert SensitivitySweep().benchmark == "blackscholes"
+
+    def test_epsilon_sweep_includes_extremes(self):
+        """Fig. 18(b)'s endpoints are valid configurations."""
+        sweep = SensitivitySweep(duration=600, seed=3)
+        points = sweep.sweep_epsilon([0.0, 1.0])
+        assert [p.value for p in points] == [0.0, 1.0]
+        assert all(p.metrics.packets_completed > 0 for p in points)
+
+    def test_gamma_one_is_valid(self):
+        """gamma = 1 (no discounting) must run, per Fig. 18(a)."""
+        sweep = SensitivitySweep(duration=600, seed=3)
+        (point,) = sweep.sweep_gamma([1.0])
+        assert point.metrics.packets_completed > 0

@@ -1,0 +1,79 @@
+"""Tests for the CRC codecs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ecc.crc import CRC8, CRC16, CRC32, Crc
+
+
+class TestKnownVectors:
+    """Standard check values for '123456789'."""
+
+    def test_crc8_ccitt(self):
+        assert CRC8.compute(b"123456789") == 0xF4
+
+    def test_crc16_ccitt_xmodem(self):
+        assert CRC16.compute(b"123456789") == 0x31C3
+
+    def test_crc32_mpeg_style(self):
+        # Non-reflected, init 0 CRC-32/MPEG variant of poly 0x04C11DB7.
+        assert CRC32.compute(b"123456789") == 0x89A1897F
+
+
+class TestCrcProperties:
+    def test_check_accepts_correct_crc(self):
+        data = b"hello flit"
+        assert CRC16.check(data, CRC16.compute(data))
+
+    def test_check_rejects_wrong_crc(self):
+        assert not CRC16.check(b"hello flit", 0xBEEF ^ CRC16.compute(b"hello flit"))
+
+    @given(st.binary(min_size=1, max_size=64), st.integers(0, 511))
+    def test_single_bit_flips_always_detected(self, data, flip):
+        """Any CRC detects all single-bit errors."""
+        bit = flip % (len(data) * 8)
+        corrupted = bytearray(data)
+        corrupted[bit // 8] ^= 1 << (bit % 8)
+        if bytes(corrupted) == data:
+            return
+        crc = CRC16.compute(data)
+        assert CRC16.detects(data, bytes(corrupted), crc)
+
+    @given(st.binary(min_size=2, max_size=32))
+    def test_burst_errors_within_width_detected(self, data):
+        """Bursts no wider than the CRC are always detected."""
+        corrupted = bytearray(data)
+        corrupted[0] ^= 0xFF  # 8-bit burst
+        crc = CRC16.compute(data)
+        assert CRC16.detects(data, bytes(corrupted), crc)
+
+    def test_compute_int_matches_bytes(self):
+        value = 0xDEADBEEF
+        assert CRC8.compute_int(value, 32) == CRC8.compute(value.to_bytes(4, "big"))
+
+    def test_compute_int_rejects_partial_bytes(self):
+        with pytest.raises(ValueError):
+            CRC8.compute_int(1, 7)
+
+    def test_detects_requires_true_original_crc(self):
+        with pytest.raises(ValueError):
+            CRC8.detects(b"ab", b"ac", 0xFF ^ CRC8.compute(b"ab"))
+
+
+class TestConstruction:
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            Crc(0, 0x1)
+
+    def test_rejects_oversized_polynomial(self):
+        with pytest.raises(ValueError):
+            Crc(8, 0x1FF)
+
+    def test_narrow_crc_works_bitwise(self):
+        crc4 = Crc(4, 0x3, name="CRC4")
+        a, b = crc4.compute(b"abc"), crc4.compute(b"abd")
+        assert 0 <= a < 16
+        assert a != b
+
+    def test_repr_contains_name(self):
+        assert "CRC8" in repr(CRC8)

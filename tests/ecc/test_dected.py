@@ -1,0 +1,117 @@
+"""Tests for the BCH-based DECTED codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc.dected import DectedCodec
+from repro.ecc.gf import GF2m, poly_mod_gf2, poly_mul_gf2
+
+codec = DectedCodec(64)
+
+words = st.integers(min_value=0, max_value=(1 << 64) - 1)
+positions = st.integers(0, codec.codeword_bits - 1)
+
+
+class TestGaloisField:
+    def test_field_closure_under_inverse(self):
+        f = GF2m(7)
+        for a in range(1, f.size):
+            assert f.mul(a, f.inv(a)) == 1
+
+    def test_pow_matches_repeated_mul(self):
+        f = GF2m(7)
+        a = 0b1010
+        acc = 1
+        for e in range(10):
+            assert f.pow(a, e) == acc
+            acc = f.mul(acc, a)
+
+    def test_minimal_polynomial_annihilates_element(self):
+        f = GF2m(7)
+        alpha3 = f.alpha_pow(3)
+        poly = f.minimal_polynomial(alpha3)
+        # Evaluate poly at alpha^3 over GF(2^7): must be zero.
+        acc = 0
+        for i in range(poly.bit_length()):
+            if (poly >> i) & 1:
+                acc ^= f.pow(alpha3, i)
+        assert acc == 0
+
+    def test_poly_mod_identity(self):
+        a, m = 0b110101, 0b1011
+        q_times_m_plus_r = poly_mod_gf2(a, m)
+        assert q_times_m_plus_r.bit_length() < m.bit_length()
+
+    def test_poly_mul_gf2_known(self):
+        # (x + 1)(x + 1) = x^2 + 1 over GF(2)
+        assert poly_mul_gf2(0b11, 0b11) == 0b101
+
+    def test_unsupported_field_rejected(self):
+        with pytest.raises(ValueError):
+            GF2m(2)
+
+    def test_division_errors(self):
+        f = GF2m(7)
+        with pytest.raises(ZeroDivisionError):
+            f.div(3, 0)
+        with pytest.raises(ZeroDivisionError):
+            f.inv(0)
+
+
+class TestGeometry:
+    def test_79_64_code(self):
+        assert codec.check_bits == 14
+        assert codec.codeword_bits == 79
+        assert codec.overhead_bits == 15
+
+    def test_rejects_too_wide_data(self):
+        with pytest.raises(ValueError):
+            DectedCodec(120, m=7)
+
+    def test_rejects_oversized_word(self):
+        with pytest.raises(ValueError):
+            codec.encode(1 << 64)
+
+    def test_rejects_oversized_received(self):
+        with pytest.raises(ValueError):
+            codec.decode(1 << codec.codeword_bits)
+
+
+class TestRoundTrip:
+    @given(words)
+    @settings(max_examples=40)
+    def test_clean_roundtrip(self, word):
+        result = codec.decode(codec.encode(word))
+        assert result.data == word
+        assert result.corrected_bits == 0
+        assert not result.detected_uncorrectable
+
+    @given(words, positions)
+    @settings(max_examples=40)
+    def test_single_error_corrected(self, word, p):
+        result = codec.decode(codec.encode(word) ^ (1 << p))
+        assert not result.detected_uncorrectable
+        assert result.corrected_bits == 1
+        assert result.data == word
+
+    @given(words, positions, positions)
+    @settings(max_examples=40, deadline=None)
+    def test_double_error_corrected(self, word, p1, p2):
+        if p1 == p2:
+            return
+        result = codec.decode(codec.encode(word) ^ (1 << p1) ^ (1 << p2))
+        assert not result.detected_uncorrectable
+        assert result.data == word
+        assert result.corrected_bits in (1, 2)  # 1 when one flip hit parity
+
+    @given(words, st.tuples(positions, positions, positions))
+    @settings(max_examples=40, deadline=None)
+    def test_triple_error_detected(self, word, ps):
+        p1, p2, p3 = ps
+        if len({p1, p2, p3}) != 3:
+            return
+        received = codec.encode(word) ^ (1 << p1) ^ (1 << p2) ^ (1 << p3)
+        result = codec.decode(received)
+        # DECTED guarantee: a triple error is flagged, never miscorrected
+        # into the wrong data silently.
+        assert result.detected_uncorrectable

@@ -1,0 +1,81 @@
+"""Additional GF(2^m) algebra properties (hypothesis-driven)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ecc.gf import GF2m, poly_mod_gf2, poly_mul_gf2
+
+FIELD = GF2m(7)
+elements = st.integers(1, FIELD.size - 1)
+all_elements = st.integers(0, FIELD.size - 1)
+
+
+class TestFieldAxioms:
+    @given(all_elements, all_elements, all_elements)
+    def test_multiplication_associative(self, a, b, c):
+        assert FIELD.mul(FIELD.mul(a, b), c) == FIELD.mul(a, FIELD.mul(b, c))
+
+    @given(all_elements, all_elements)
+    def test_multiplication_commutative(self, a, b):
+        assert FIELD.mul(a, b) == FIELD.mul(b, a)
+
+    @given(all_elements)
+    def test_one_is_identity(self, a):
+        assert FIELD.mul(a, 1) == a
+
+    @given(all_elements)
+    def test_zero_annihilates(self, a):
+        assert FIELD.mul(a, 0) == 0
+
+    @given(elements, elements)
+    def test_division_inverts_multiplication(self, a, b):
+        assert FIELD.div(FIELD.mul(a, b), b) == a
+
+    @given(elements)
+    def test_power_order(self, a):
+        """Every nonzero element satisfies a^(2^m - 1) = 1."""
+        assert FIELD.pow(a, FIELD.order) == 1
+
+    def test_alpha_generates_whole_group(self):
+        seen = set()
+        for e in range(FIELD.order):
+            seen.add(FIELD.alpha_pow(e))
+        assert len(seen) == FIELD.order
+
+    @given(st.integers(-300, 300))
+    def test_alpha_pow_wraps_modulo_order(self, e):
+        assert FIELD.alpha_pow(e) == FIELD.alpha_pow(e % FIELD.order)
+
+
+class TestPolyArithmetic:
+    @given(st.integers(0, 2**20), st.integers(0, 2**20))
+    def test_mul_degree_additivity(self, a, b):
+        if a == 0 or b == 0:
+            assert poly_mul_gf2(a, b) == 0
+            return
+        product = poly_mul_gf2(a, b)
+        assert product.bit_length() == a.bit_length() + b.bit_length() - 1
+
+    @given(st.integers(0, 2**24), st.integers(1, 2**10))
+    def test_mod_reduces_degree(self, a, m):
+        r = poly_mod_gf2(a, m)
+        assert r.bit_length() < m.bit_length()
+
+    @given(st.integers(0, 2**16), st.integers(2, 2**8))
+    def test_mod_is_congruent(self, a, m):
+        """a - r is divisible by m over GF(2): (a ^ r) mod m == 0."""
+        r = poly_mod_gf2(a, m)
+        assert poly_mod_gf2(a ^ r, m) == 0
+
+    def test_mod_by_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            poly_mod_gf2(5, 0)
+
+
+class TestOtherFieldSizes:
+    @pytest.mark.parametrize("m", [3, 4, 5, 6, 8])
+    def test_supported_fields_build_correct_tables(self, m):
+        f = GF2m(m)
+        assert len(set(f.exp_table[: f.order])) == f.order
+        for a in range(1, f.size):
+            assert f.mul(a, f.inv(a)) == 1

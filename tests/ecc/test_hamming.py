@@ -1,0 +1,86 @@
+"""Tests for the extended Hamming SECDED codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc.hamming import SecdedCodec
+
+codec64 = SecdedCodec(64)
+
+words = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestGeometry:
+    def test_72_64_code(self):
+        assert codec64.codeword_bits == 72
+        assert codec64.overhead_bits == 8
+
+    def test_small_codes(self):
+        assert SecdedCodec(4).parity_bits == 3  # (8, 4) extended Hamming
+        assert SecdedCodec(11).parity_bits == 4
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            SecdedCodec(0)
+
+    def test_encode_rejects_oversized_word(self):
+        with pytest.raises(ValueError):
+            codec64.encode(1 << 64)
+
+
+class TestRoundTrip:
+    @given(words)
+    def test_clean_roundtrip(self, word):
+        result = codec64.decode(codec64.encode(word))
+        assert result.data == word
+        assert not result.corrected
+        assert not result.detected_uncorrectable
+
+    @given(words, st.integers(0, 71))
+    def test_single_error_corrected(self, word, position):
+        received = codec64.encode(word) ^ (1 << position)
+        result = codec64.decode(received)
+        assert result.corrected
+        assert result.data == word
+        assert not result.detected_uncorrectable
+
+    @given(words, st.integers(0, 71), st.integers(0, 71))
+    @settings(max_examples=60)
+    def test_double_error_detected_not_miscorrected(self, word, p1, p2):
+        if p1 == p2:
+            return
+        received = codec64.encode(word) ^ (1 << p1) ^ (1 << p2)
+        result = codec64.decode(received)
+        assert result.detected_uncorrectable
+        assert not result.corrected
+
+
+class TestEnvelopeEdges:
+    def test_parity_bit_error_is_corrected(self):
+        word = 0x0123456789ABCDEF
+        result = codec64.decode(codec64.encode(word) ^ 1)  # position 0
+        assert result.corrected
+        assert result.error_position == 0
+        assert result.data == word
+
+    def test_extract_matches_encode_layout(self):
+        word = 0xFFFFFFFFFFFFFFFF
+        assert codec64.extract(codec64.encode(word)) == word
+
+    def test_triple_error_may_be_silent(self):
+        """>=3 errors are outside the envelope: decoder may miscorrect.
+
+        This documents the silent-corruption class charged by the
+        simulator's sampled model — find one aliasing triple.
+        """
+        word = 0
+        cw = codec64.encode(word)
+        saw_silent = False
+        for a in range(0, 20):
+            for b in range(a + 1, 21):
+                for c in range(b + 1, 22):
+                    r = codec64.decode(cw ^ (1 << a) ^ (1 << b) ^ (1 << c))
+                    if not r.detected_uncorrectable and r.data != word:
+                        saw_silent = True
+                        break
+        assert saw_silent

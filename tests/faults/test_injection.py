@@ -1,0 +1,43 @@
+"""Tests for deterministic fault injection."""
+
+import pytest
+
+from repro.faults.injection import FaultInjector, InjectedFault
+
+
+class TestInjectedFault:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InjectedFault(cycle=-1, src_router=0, direction=1)
+        with pytest.raises(ValueError):
+            InjectedFault(cycle=0, src_router=0, direction=1, bit_errors=0)
+
+
+class TestFaultInjector:
+    def test_fires_at_or_after_cycle(self):
+        inj = FaultInjector()
+        inj.schedule(InjectedFault(cycle=10, src_router=3, direction=1, bit_errors=2))
+        assert inj.pop_matching(5, 3, 1) == 0  # too early
+        assert inj.pop_matching(10, 3, 1) == 2
+
+    def test_fires_only_once(self):
+        inj = FaultInjector()
+        inj.schedule(InjectedFault(cycle=0, src_router=3, direction=1))
+        assert inj.pop_matching(0, 3, 1) == 1
+        assert inj.pop_matching(1, 3, 1) == 0
+        assert len(inj.fired) == 1
+
+    def test_matches_router_and_direction(self):
+        inj = FaultInjector()
+        inj.schedule(InjectedFault(cycle=0, src_router=3, direction=1))
+        assert inj.pop_matching(0, 3, 2) == 0
+        assert inj.pop_matching(0, 4, 1) == 0
+        assert inj.pending() == 1
+
+    def test_multiple_faults_fire_in_schedule_order(self):
+        inj = FaultInjector()
+        inj.schedule(InjectedFault(cycle=0, src_router=3, direction=1, bit_errors=1))
+        inj.schedule(InjectedFault(cycle=0, src_router=3, direction=1, bit_errors=3))
+        assert inj.pop_matching(0, 3, 1) == 1
+        assert inj.pop_matching(0, 3, 1) == 3
+        assert inj.pending() == 0

@@ -1,0 +1,54 @@
+"""Property-style checks on RunMetrics arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.latency import LatencySummary
+from repro.metrics.reliability import ReliabilitySummary
+from repro.metrics.summary import RunMetrics
+
+
+def metrics(static_w, dynamic_w, cycles):
+    return RunMetrics(
+        technique="SECDED",
+        workload="x",
+        execution_cycles=cycles,
+        packets_completed=10,
+        latency=LatencySummary(10, 10, 12, 13, 15, 10),
+        static_power_w=static_w,
+        dynamic_power_w=dynamic_w,
+        total_energy_j=(static_w + dynamic_w) * cycles / 2e9,
+        reliability=ReliabilitySummary(0, 0, 0, 0, 0, 100, 1.0, 1.0, 1.0),
+    )
+
+
+class TestDerivedQuantities:
+    @given(
+        st.floats(min_value=1e-3, max_value=10.0),
+        st.floats(min_value=1e-3, max_value=10.0),
+        st.integers(min_value=100, max_value=10**7),
+    )
+    def test_eq8_consistency(self, static_w, dynamic_w, cycles):
+        m = metrics(static_w, dynamic_w, cycles)
+        # Eq. 8 == 1 / (P_total * T_exec) == 1 / E_total here.
+        assert m.energy_efficiency == pytest.approx(1.0 / m.total_energy_j)
+
+    @given(
+        st.floats(min_value=1e-3, max_value=10.0),
+        st.integers(min_value=100, max_value=10**6),
+    )
+    def test_edp_positive_and_scales_with_time(self, power, cycles):
+        short = metrics(power, power, cycles)
+        long = metrics(power, power, cycles * 4)
+        # Same power for 4x the time: 16x the EDP (E x T both 4x).
+        assert long.energy_delay_product == pytest.approx(
+            16 * short.energy_delay_product, rel=1e-9
+        )
+
+    def test_execution_seconds_uses_2ghz_clock(self):
+        m = metrics(1.0, 1.0, 2_000_000_000)
+        assert m.execution_seconds == pytest.approx(1.0)
+
+    def test_total_power_is_sum(self):
+        m = metrics(0.25, 0.75, 1000)
+        assert m.total_power_w == pytest.approx(1.0)

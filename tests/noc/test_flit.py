@@ -1,0 +1,68 @@
+"""Tests for packets and flits."""
+
+import pytest
+
+from repro.noc.flit import Flit, Packet
+
+
+class TestPacket:
+    def test_create_assigns_unique_ids(self):
+        a = Packet.create(0, 1, 4, 0)
+        b = Packet.create(0, 1, 4, 0)
+        assert a.pid != b.pid
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Packet.create(3, 3, 4, 0)
+        with pytest.raises(ValueError):
+            Packet.create(0, 1, 0, 0)
+
+    def test_make_flits_structure(self):
+        flits = Packet.create(0, 1, 4, 0).make_flits()
+        assert len(flits) == 4
+        assert flits[0].is_head and not flits[0].is_tail
+        assert flits[-1].is_tail and not flits[-1].is_head
+        assert all(not f.is_head and not f.is_tail for f in flits[1:-1])
+        assert [f.seq for f in flits] == [0, 1, 2, 3]
+
+    def test_single_flit_packet_is_head_and_tail(self):
+        flit = Packet.create(0, 1, 1, 0).make_flits()[0]
+        assert flit.is_head and flit.is_tail
+
+    def test_latency_requires_completion(self):
+        packet = Packet.create(0, 1, 4, cycle=10)
+        with pytest.raises(ValueError):
+            _ = packet.latency
+        packet.completion_cycle = 60
+        assert packet.latency == 50
+
+    def test_retry_preserves_creation_time(self):
+        packet = Packet.create(0, 1, 4, cycle=10)
+        packet.needs_retry = True
+        packet.corrupted = True
+        packet.path.extend([0, 1])
+        packet.flits_ejected = 4
+        packet.reset_for_retransmission()
+        assert packet.creation_cycle == 10  # latency spans the failed try
+        assert packet.e2e_retransmissions == 1
+        assert not packet.needs_retry and not packet.corrupted
+        assert packet.flits_ejected == 0
+        assert packet.path == []
+
+
+class TestFlit:
+    def test_repr_tags_flit_kind(self):
+        flits = Packet.create(0, 1, 3, 0).make_flits()
+        assert "H" in repr(flits[0])
+        assert "B" in repr(flits[1])
+        assert "T" in repr(flits[2])
+
+    def test_slots_prevent_arbitrary_attributes(self):
+        flit = Packet.create(0, 1, 1, 0).make_flits()[0]
+        with pytest.raises(AttributeError):
+            flit.color = "red"
+
+    def test_error_accumulation_starts_clean(self):
+        flit = Packet.create(0, 1, 1, 0).make_flits()[0]
+        assert flit.bit_errors == 0
+        assert flit.hops == 0

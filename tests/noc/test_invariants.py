@@ -1,0 +1,94 @@
+"""Property-based invariants of the full network.
+
+Hypothesis generates random workloads and checks conservation laws the
+simulator must never violate: no flit loss, no duplication, per-packet
+in-order completion, and energy monotonicity.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CP, CPD, FaultConfig, INTELLINOC, SECDED_BASELINE
+from repro.traffic.trace import TraceEvent
+from tests.conftest import make_network
+
+techniques = st.sampled_from([SECDED_BASELINE, CP, CPD, INTELLINOC])
+
+
+@st.composite
+def workloads(draw):
+    n = draw(st.integers(1, 40))
+    events = []
+    for i in range(n):
+        src = draw(st.integers(0, 63))
+        dst = draw(st.integers(0, 63))
+        if src == dst:
+            continue
+        cycle = draw(st.integers(0, 400))
+        events.append(TraceEvent(cycle, src, dst, 4))
+    return events
+
+
+class TestConservation:
+    @given(workloads(), techniques, st.integers(0, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_no_flit_lost_or_duplicated(self, events, technique, seed):
+        net = make_network(
+            technique=technique,
+            events=events,
+            seed=seed,
+            faults=FaultConfig(base_bit_error_rate=0.0),
+        )
+        net.run_to_completion(60_000)
+        assert net.stats.packets_completed == net.stats.packets_injected
+        assert net._network_drained()
+        # No source queue left anything behind.
+        assert all(s.is_empty() for s in net.sources)
+
+    @given(workloads(), st.integers(0, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_conservation_under_faults(self, events, seed):
+        """Even with aggressive error injection, every packet eventually
+        completes exactly once (retries are bounded)."""
+        net = make_network(
+            technique=SECDED_BASELINE,
+            events=events,
+            seed=seed,
+            faults=FaultConfig(base_bit_error_rate=1e-4),
+        )
+        net.run_to_completion(80_000)
+        assert net.stats.packets_completed == net.stats.packets_injected
+
+    @given(workloads())
+    @settings(max_examples=10, deadline=None)
+    def test_energy_strictly_positive_and_monotone(self, events):
+        net = make_network(events=events)
+        previous = 0.0
+        for _ in range(6):
+            net.run(200)
+            total = net.accountant.total_pj()
+            assert total >= previous
+            previous = total
+        assert previous > 0  # leakage alone guarantees nonzero energy
+
+    @given(workloads())
+    @settings(max_examples=10, deadline=None)
+    def test_temperatures_stay_physical(self, events):
+        net = make_network(events=events)
+        net.run(1500)
+        temps = net.thermal.temperatures
+        ambient = net.config.faults.ambient_temperature
+        assert np.all(temps >= ambient - 1e-6)
+        assert np.all(temps < 500.0)  # nothing melts
+
+    @given(workloads(), st.integers(0, 2))
+    @settings(max_examples=10, deadline=None)
+    def test_latency_at_least_zero_load_bound(self, events, seed):
+        """No packet beats the zero-load bound of its path."""
+        net = make_network(
+            events=events, seed=seed, faults=FaultConfig(base_bit_error_rate=0.0)
+        )
+        net.run_to_completion(60_000)
+        if net.stats.latencies:
+            # Minimum possible: 1 hop * (pipeline + link) + serialization.
+            assert min(net.stats.latencies) >= 4

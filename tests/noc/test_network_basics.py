@@ -1,0 +1,109 @@
+"""Integration tests: packet delivery through the full network."""
+
+import pytest
+
+from repro.config import FaultConfig, SECDED_BASELINE
+from repro.noc.routing import hop_count
+from repro.traffic.trace import TraceEvent
+from tests.conftest import ALL_TECHNIQUES, make_network
+
+NO_FAULTS = FaultConfig(base_bit_error_rate=0.0)
+
+
+class TestSinglePacket:
+    def test_packet_reaches_destination(self):
+        net = make_network(events=[TraceEvent(0, 0, 9, 4)], faults=NO_FAULTS)
+        net.run_to_completion(2000)
+        assert net.stats.packets_completed == 1
+        assert net.stats.packets_injected == 1
+
+    def test_latency_scales_with_distance(self):
+        near = make_network(events=[TraceEvent(0, 0, 1, 4)], faults=NO_FAULTS)
+        far = make_network(events=[TraceEvent(0, 0, 63, 4)], faults=NO_FAULTS)
+        near.run_to_completion(2000)
+        far.run_to_completion(2000)
+        assert far.stats.average_latency > near.stats.average_latency
+        # Far packet crosses 14 hops; at >=4 cycles/hop that is >=56 cycles.
+        assert far.stats.average_latency >= 4 * hop_count(0, 63, 8)
+
+    def test_all_flits_of_packet_delivered(self):
+        net = make_network(events=[TraceEvent(0, 5, 40, 4)], faults=NO_FAULTS)
+        net.run_to_completion(2000)
+        assert net.stats.flits_delivered >= 4 * hop_count(5, 40, 8)
+
+    def test_hop_counter_matches_xy_distance(self):
+        net = make_network(events=[TraceEvent(0, 0, 18, 4)], faults=NO_FAULTS)
+        net.run_to_completion(2000)
+        # XY from 0 to (2,2) crosses 4 links: per-flit link deliveries
+        # equal 4 flits x 4 hops.
+        assert net.stats.flits_delivered == 4 * 4
+
+
+class TestManyPackets:
+    def test_uniform_burst_all_complete(self):
+        events = [
+            TraceEvent(i % 50, (i * 7) % 64, (i * 13 + 1) % 64, 4)
+            for i in range(200)
+            if (i * 7) % 64 != (i * 13 + 1) % 64
+        ]
+        net = make_network(events=events, faults=NO_FAULTS)
+        net.run_to_completion(20_000)
+        assert net.stats.packets_completed == len(events)
+
+    def test_hotspot_contention_resolves(self):
+        events = [TraceEvent(i, src, 27, 4) for i, src in enumerate(range(16, 24))]
+        net = make_network(events=events, faults=NO_FAULTS)
+        net.run_to_completion(20_000)
+        assert net.stats.packets_completed == len(events)
+
+    @pytest.mark.parametrize("technique", ALL_TECHNIQUES, ids=lambda t: t.name)
+    def test_every_technique_delivers(self, technique):
+        events = [
+            TraceEvent(i * 3, (i * 11) % 64, (i * 17 + 5) % 64, 4)
+            for i in range(100)
+            if (i * 11) % 64 != (i * 17 + 5) % 64
+        ]
+        net = make_network(technique=technique, events=events, faults=NO_FAULTS)
+        net.run_to_completion(40_000)
+        assert net.stats.packets_completed == net.stats.packets_injected
+        assert net._network_drained()
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        events = [TraceEvent(i, i % 64, (i + 9) % 64, 4) for i in range(1, 80)]
+        a = make_network(events=events, seed=5)
+        b = make_network(events=events, seed=5)
+        a.run(3000)
+        b.run(3000)
+        assert a.stats.latencies == b.stats.latencies
+        assert a.accountant.total_pj() == b.accountant.total_pj()
+
+    def test_different_fault_seed_changes_errors(self):
+        faults = FaultConfig(base_bit_error_rate=1e-4)
+        events = [TraceEvent(i, i % 64, (i + 9) % 64, 4) for i in range(1, 300)]
+        a = make_network(events=events, seed=5, faults=faults)
+        b = make_network(events=events, seed=6, faults=faults)
+        a.run(3000)
+        b.run(3000)
+        assert (
+            a.stats.total_retransmitted_flits != b.stats.total_retransmitted_flits
+            or a.stats.corrected_flits != b.stats.corrected_flits
+        )
+
+
+class TestReplies:
+    def test_reply_generated_on_delivery(self):
+        net = make_network(
+            events=[TraceEvent(0, 0, 9, 4, True)], faults=NO_FAULTS
+        )
+        net.run_to_completion(4000)
+        assert net.stats.packets_injected == 2  # request + reply
+        assert net.stats.packets_completed == 2
+
+    def test_oneway_packet_has_no_reply(self):
+        net = make_network(
+            events=[TraceEvent(0, 0, 9, 4, False)], faults=NO_FAULTS
+        )
+        net.run_to_completion(4000)
+        assert net.stats.packets_injected == 1

@@ -1,0 +1,79 @@
+"""Remaining Network surface: drain helper, repr, validation, wiring."""
+
+import pytest
+
+from repro.config import FaultConfig, SECDED_BASELINE
+from repro.noc.routing import Direction
+from repro.traffic.trace import TraceEvent
+from tests.conftest import make_network
+
+NO_FAULTS = FaultConfig(base_bit_error_rate=0.0)
+
+
+class TestWiring:
+    def test_mesh_channel_symmetry(self):
+        net = make_network(events=[], faults=NO_FAULTS)
+        assert len(net.channels) == 2 * 7 * 8 * 2
+        for channel in net.channels:
+            src = net.routers[channel.src]
+            dst = net.routers[channel.dst]
+            assert src.outgoing[channel.direction] is channel
+            assert dst.incoming[channel.direction.opposite] is channel
+            assert src.downstream_routers[channel.direction] is dst
+
+    def test_every_router_has_congestion_block(self):
+        net = make_network(events=[], faults=NO_FAULTS)
+        assert all(r.congestion is not None for r in net.routers)
+
+    def test_edge_routers_have_fewer_channels(self):
+        net = make_network(events=[], faults=NO_FAULTS)
+        corner = net.routers[0]
+        center = net.routers[27]
+        assert len(corner.outgoing) == 2
+        assert len(center.outgoing) == 4
+        assert Direction.WEST not in corner.outgoing
+
+
+class TestRunControls:
+    def test_negative_run_rejected(self):
+        net = make_network(events=[], faults=NO_FAULTS)
+        with pytest.raises(ValueError):
+            net.run(-1)
+
+    def test_drain_remaining_empties_network(self):
+        net = make_network(events=[TraceEvent(0, 0, 63, 4)], faults=NO_FAULTS)
+        net.run(5)  # mid-flight
+        net.drain_remaining(max_cycles=5000)
+        assert net._network_drained()
+        assert net.stats.packets_completed == 1
+
+    def test_repr_shows_progress(self):
+        net = make_network(events=[TraceEvent(0, 0, 9, 4)], faults=NO_FAULTS)
+        net.run_to_completion(2000)
+        text = repr(net)
+        assert "SECDED" in text
+        assert "1/1" in text
+
+    def test_run_to_completion_caps_at_max(self):
+        # An event beyond the cap: run_to_completion returns at the cap.
+        net = make_network(events=[TraceEvent(5000, 0, 9, 4)], faults=NO_FAULTS)
+        cycles = net.run_to_completion(100)
+        assert cycles == 100
+        assert net.stats.packets_completed == 0
+
+
+class TestEpochMachinery:
+    def test_mode_cycles_accumulate_every_epoch(self):
+        net = make_network(events=[], faults=NO_FAULTS)
+        net.run(500)
+        total = sum(net.stats.mode_cycles.values())
+        assert total == 5 * 100 * 64  # stats epochs x routers
+
+    def test_thermal_updates_on_epoch_boundary(self):
+        net = make_network(
+            events=[TraceEvent(i, 0, 7, 4) for i in range(90)], faults=NO_FAULTS
+        )
+        before = net.thermal.mean_temperature()
+        net.run(400)
+        after = net.thermal.mean_temperature()
+        assert after > before  # heated by the burst

@@ -1,0 +1,82 @@
+"""Integration: where retransmission copies live, per technique.
+
+Section 3.2/3.1.1: the baseline holds copies in the upstream VC (reserving
+the slot until ACK); IntelliNoC's modes 2/3 hold them in the MFAC's upper
+link, freeing router buffers.  These tests pin that difference and the
+copy-capacity backpressure.
+"""
+
+from repro.config import FaultConfig, INTELLINOC, SECDED_BASELINE, SimulationConfig
+from repro.channels.mfac import ChannelFunction
+from repro.noc.network import Network
+from repro.noc.routing import Direction
+from repro.traffic.trace import Trace, TraceEvent
+from tests.noc.test_gating_bypass import FixedModePolicy
+
+NO_FAULTS = FaultConfig(base_bit_error_rate=0.0)
+
+
+class TestBaselineReservations:
+    def test_wire_sends_reserve_upstream_slots(self):
+        config = SimulationConfig(technique=SECDED_BASELINE, seed=2, faults=NO_FAULTS)
+        net = Network(config, Trace([TraceEvent(0, 0, 3, 4)]))
+        saw_reservation = False
+        for _ in range(60):
+            net.step()
+            if any(r._reserved_count > 0 for r in net.routers):
+                saw_reservation = True
+        assert saw_reservation
+        # Everything released by the time the network drains.
+        assert all(r._reserved_count == 0 for r in net.routers)
+
+    def test_pending_acks_empty_after_drain(self):
+        config = SimulationConfig(technique=SECDED_BASELINE, seed=2, faults=NO_FAULTS)
+        net = Network(config, Trace([TraceEvent(0, 0, 9, 4)]))
+        net.run_to_completion(2000)
+        assert all(not c.pending_acks for c in net.channels)
+
+
+class TestMfacRetransmissionBuffers:
+    def intellinoc_mode(self, mode, events):
+        technique = INTELLINOC.with_rl(time_step=100)
+        config = SimulationConfig(technique=technique, seed=2, faults=NO_FAULTS)
+        net = Network(config, Trace(list(events)), policy=FixedModePolicy(mode))
+        return net
+
+    def test_mode2_configures_retransmission_channels(self):
+        net = self.intellinoc_mode(2, [])
+        net.run(200)
+        assert all(
+            c.function is ChannelFunction.RETRANSMISSION for c in net.channels
+        )
+
+    def test_mode2_sends_keep_copies_until_ack(self):
+        events = [TraceEvent(150, 0, 2, 4)]
+        net = self.intellinoc_mode(2, events)
+        saw_copy = False
+        for _ in range(400):
+            net.step()
+            if any(c.copies for c in net.channels):
+                saw_copy = True
+        assert saw_copy
+        assert net.stats.packets_completed == 1
+        # Copies drained with the ACKs.
+        assert all(not c.copies for c in net.channels)
+
+    def test_mode2_no_upstream_reservations(self):
+        """With MFAC copies, router buffers are never reserved (the MFAC
+        benefit of Section 3.1.1(3))."""
+        events = [TraceEvent(150 + i * 10, 0, 5, 4) for i in range(10)]
+        net = self.intellinoc_mode(2, events)
+        for _ in range(800):
+            net.step()
+            assert all(r._reserved_count == 0 for r in net.routers)
+        assert net.stats.packets_completed == 10
+
+    def test_mode4_relaxed_doubles_latency(self):
+        fast = self.intellinoc_mode(1, [TraceEvent(150, 0, 7, 4)])
+        slow = self.intellinoc_mode(4, [TraceEvent(150, 0, 7, 4)])
+        fast.run_to_completion(3000)
+        slow.run_to_completion(3000)
+        # Relaxed timing doubles link traversal and keeps SECDED latency.
+        assert slow.stats.average_latency > fast.stats.average_latency * 1.5

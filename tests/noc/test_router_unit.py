@@ -1,0 +1,111 @@
+"""Router-level unit tests: pipeline, allocation, ECC latency, modes."""
+
+import pytest
+
+from repro.config import (
+    CPD,
+    EB,
+    EccScheme,
+    INTELLINOC,
+    PowerConfig,
+    SECDED_BASELINE,
+)
+from repro.noc.power_gating import PowerState
+from repro.noc.router import MODE_SCHEME, Router
+from repro.noc.routing import Direction
+from repro.noc.statistics import RouterEpochCounters
+
+
+def bare_router(technique=SECDED_BASELINE, rid=9):
+    charges = []
+    ejected = []
+    router = Router(
+        rid,
+        technique,
+        PowerConfig(),
+        mesh_width=8,
+        counters=RouterEpochCounters(),
+        charge=charges.append,
+        on_eject=lambda f, c: ejected.append(f),
+    )
+    router._test_charges = charges
+    router._test_ejected = ejected
+    return router
+
+
+class TestModeTable:
+    def test_mode_to_scheme_mapping(self):
+        assert MODE_SCHEME[0] is EccScheme.CRC
+        assert MODE_SCHEME[1] is EccScheme.CRC
+        assert MODE_SCHEME[2] is EccScheme.SECDED
+        assert MODE_SCHEME[3] is EccScheme.DECTED
+        assert MODE_SCHEME[4] is EccScheme.SECDED  # relaxed keeps SECDED
+
+    def test_unknown_mode_rejected(self):
+        router = bare_router(INTELLINOC)
+        with pytest.raises(ValueError):
+            router.apply_mode(7, 0)
+
+
+class TestEccLatency:
+    def test_crc_mode_is_free(self):
+        router = bare_router(INTELLINOC)
+        router.ecc.configure(EccScheme.CRC)
+        assert router.ecc_latency() == 0
+
+    def test_secded_costs_two_cycles(self):
+        router = bare_router(SECDED_BASELINE)
+        assert router.ecc_latency() == 2
+
+    def test_dected_costs_three(self):
+        router = bare_router(INTELLINOC)
+        router.ecc.configure(EccScheme.DECTED)
+        assert router.ecc_latency() == 3
+
+
+class TestPipelineDelays:
+    def test_baseline_is_four_stage(self):
+        router = bare_router(SECDED_BASELINE)
+        assert router._head_delay == 2  # BW/RC + VA before SA
+
+    def test_eb_is_three_stage(self):
+        router = bare_router(EB)
+        assert router._head_delay == 1  # no VA stage
+
+    def test_eb_gets_subnetwork_grants(self):
+        assert bare_router(EB)._grants_per_output == 2
+        assert bare_router(SECDED_BASELINE)._grants_per_output == 1
+
+
+class TestModeApplication:
+    def test_initial_mode_is_one_for_adaptive(self):
+        assert bare_router(INTELLINOC).mode == 1
+        assert bare_router(CPD).mode == 1
+
+    def test_static_technique_runs_secded(self):
+        router = bare_router(SECDED_BASELINE)
+        assert router.hop_scheme is EccScheme.SECDED
+
+    def test_mode4_sets_relaxed_timing(self):
+        router = bare_router(INTELLINOC)
+        router.apply_mode(4, 0)
+        assert router.relaxed_timing
+        assert router.hop_scheme is EccScheme.SECDED
+        router.apply_mode(1, 0)
+        assert not router.relaxed_timing
+
+    def test_mode0_requests_gating(self):
+        router = bare_router(INTELLINOC)
+        router.apply_mode(0, 10)
+        assert router.gating.state is PowerState.GATED  # empty -> immediate
+
+    def test_empty_router_reports_empty_and_idle(self):
+        router = bare_router()
+        assert router.is_empty()
+        assert router.is_idle()
+
+
+class TestBypassOverload:
+    def test_no_channels_not_overloaded(self):
+        router = bare_router(INTELLINOC)
+        assert not router.bypass_overloaded()

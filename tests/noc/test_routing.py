@@ -1,0 +1,70 @@
+"""Tests for directions and X-Y routing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc.routing import Direction, hop_count, xy_route
+from repro.noc.topology import MeshTopology
+
+WIDTH = 8
+nodes = st.integers(0, 63)
+
+
+class TestDirections:
+    def test_opposites_are_involutive(self):
+        for d in Direction:
+            assert d.opposite.opposite is d
+
+    def test_local_is_self_opposite(self):
+        assert Direction.LOCAL.opposite is Direction.LOCAL
+
+
+class TestXyRoute:
+    def test_x_before_y(self):
+        # From 0 to node (3, 5): must head EAST first.
+        dst = 5 * WIDTH + 3
+        assert xy_route(0, dst, WIDTH) is Direction.EAST
+
+    def test_y_when_x_aligned(self):
+        dst = 5 * WIDTH  # (0, 5)
+        assert xy_route(0, dst, WIDTH) is Direction.NORTH
+
+    def test_arrival_is_local(self):
+        assert xy_route(42, 42, WIDTH) is Direction.LOCAL
+
+    @given(nodes, nodes)
+    def test_route_always_progresses(self, src, dst):
+        """Following XY from any src reaches dst in exactly hop_count hops."""
+        if src == dst:
+            return
+        topo = MeshTopology(WIDTH, WIDTH)
+        current = src
+        for _ in range(hop_count(src, dst, WIDTH)):
+            direction = xy_route(current, dst, WIDTH)
+            assert direction is not Direction.LOCAL
+            current = topo.neighbor(current, direction)
+            assert current is not None
+        assert current == dst
+
+    @given(nodes, nodes)
+    def test_no_y_then_x_turns(self, src, dst):
+        """Once a route moves in Y it never moves in X again (deadlock
+        freedom of dimension order)."""
+        if src == dst:
+            return
+        topo = MeshTopology(WIDTH, WIDTH)
+        current, seen_y = src, False
+        while current != dst:
+            direction = xy_route(current, dst, WIDTH)
+            if direction in (Direction.NORTH, Direction.SOUTH):
+                seen_y = True
+            elif seen_y:
+                pytest.fail("X move after Y move")
+            current = topo.neighbor(current, direction)
+
+
+class TestHopCount:
+    def test_manhattan(self):
+        assert hop_count(0, 63, WIDTH) == 14
+        assert hop_count(0, 1, WIDTH) == 1
+        assert hop_count(9, 9, WIDTH) == 0

@@ -1,0 +1,87 @@
+"""The simulator generalizes beyond Table 1's 8x8 configuration."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import (
+    FaultConfig,
+    INTELLINOC,
+    NocConfig,
+    SECDED_BASELINE,
+    SimulationConfig,
+)
+from repro.noc.network import Network
+from repro.traffic.trace import Trace, TraceEvent
+
+NO_FAULTS = FaultConfig(base_bit_error_rate=0.0)
+
+
+def run_mesh(technique, width, height, events, **noc_kwargs):
+    noc = replace(technique.noc, width=width, height=height, **noc_kwargs)
+    config = SimulationConfig(
+        technique=replace(technique, noc=noc), seed=1, faults=NO_FAULTS
+    )
+    net = Network(config, Trace(list(events)))
+    net.run_to_completion(40_000)
+    return net
+
+
+class TestMeshSizes:
+    @pytest.mark.parametrize("width,height", [(2, 2), (4, 4), (4, 8), (10, 6)])
+    def test_baseline_delivers_on_any_mesh(self, width, height):
+        n = width * height
+        events = [
+            TraceEvent(i * 4, i % n, (i * 7 + 1) % n, 4)
+            for i in range(40)
+            if i % n != (i * 7 + 1) % n
+        ]
+        net = run_mesh(SECDED_BASELINE, width, height, events)
+        assert net.stats.packets_completed == net.stats.packets_injected
+
+    def test_intellinoc_on_4x4(self):
+        events = [
+            TraceEvent(i * 6, i % 16, (i * 5 + 3) % 16, 4)
+            for i in range(30)
+            if i % 16 != (i * 5 + 3) % 16
+        ]
+        net = run_mesh(INTELLINOC, 4, 4, events)
+        assert net.stats.packets_completed == net.stats.packets_injected
+
+
+class TestPacketSizes:
+    @pytest.mark.parametrize("size", [1, 2, 8, 16])
+    def test_varied_packet_lengths(self, size):
+        events = [TraceEvent(i * 10, 0, 9, size) for i in range(10)]
+        net = run_mesh(SECDED_BASELINE, 8, 8, events, flits_per_packet=size)
+        assert net.stats.packets_completed == 10
+
+    def test_single_flit_packets_through_bypass(self):
+        events = [TraceEvent(300 + i * 20, 0, 9, 1) for i in range(10)]
+        noc = replace(INTELLINOC.noc, flits_per_packet=1)
+        from repro.control.policies import ModePolicy
+
+        class AllBypass(ModePolicy):
+            def control_step(self, observations, cycle):
+                return [0] * len(observations)
+
+        config = SimulationConfig(
+            technique=replace(INTELLINOC.with_rl(time_step=100), noc=noc),
+            seed=1,
+            faults=NO_FAULTS,
+        )
+        net = Network(config, Trace(events), policy=AllBypass())
+        net.run_to_completion(20_000)
+        assert net.stats.packets_completed == 10
+
+
+class TestVcCounts:
+    @pytest.mark.parametrize("vcs", [1, 2, 8])
+    def test_varied_vc_counts(self, vcs):
+        events = [
+            TraceEvent(i * 3, (i * 3) % 64, (i * 11 + 2) % 64, 4)
+            for i in range(60)
+            if (i * 3) % 64 != (i * 11 + 2) % 64
+        ]
+        net = run_mesh(SECDED_BASELINE, 8, 8, events, num_vcs=vcs)
+        assert net.stats.packets_completed == net.stats.packets_injected

@@ -1,0 +1,80 @@
+"""Tests for statistics collection."""
+
+import pytest
+
+from repro.noc.statistics import NetworkStatistics, RouterEpochCounters
+
+
+class TestRouterEpochCounters:
+    def test_error_class_binning(self):
+        c = RouterEpochCounters()
+        for errors in (0, 0, 1, 2, 3, 7):
+            c.record_error_class(errors)
+        assert list(c.error_classes) == [2, 1, 1, 2]  # >=3 bucket absorbs 7
+
+    def test_reset_clears_everything(self):
+        c = RouterEpochCounters()
+        c.in_flits[1] = 5
+        c.latency_sum, c.latency_count = 100, 2
+        c.record_error_class(1)
+        c.occupancy_samples[0] = 0.5
+        c.num_occupancy_samples = 1
+        c.reset()
+        assert c.in_flits.sum() == 0
+        assert c.latency_count == 0
+        assert c.error_classes.sum() == 0
+        assert c.num_occupancy_samples == 0
+
+    def test_mean_buffer_utilization(self):
+        c = RouterEpochCounters()
+        c.occupancy_samples[:] = 2.0
+        c.num_occupancy_samples = 4
+        assert c.mean_buffer_utilization()[0] == pytest.approx(0.5)
+        c.reset()
+        assert c.mean_buffer_utilization().sum() == 0.0
+
+
+class TestNetworkStatistics:
+    def test_completion_aggregates(self):
+        stats = NetworkStatistics(4)
+        stats.record_completion(10, 0, cycle=100, path=[0, 1, 2])
+        stats.record_completion(30, 1, cycle=120, path=[1])
+        assert stats.average_latency == 20
+        assert stats.latency_percentile(50) == 20
+        assert stats.last_completion_cycle == 120
+
+    def test_path_attribution(self):
+        stats = NetworkStatistics(4)
+        stats.record_completion(12, 0, cycle=0, path=[0, 2, 3])
+        assert stats.routers[0].latency_count == 1
+        assert stats.routers[2].latency_sum == 12
+        assert stats.routers[1].latency_count == 0
+
+    def test_fallback_to_source_without_path(self):
+        stats = NetworkStatistics(4)
+        stats.record_completion(12, 3, cycle=0, path=None)
+        assert stats.routers[3].latency_count == 1
+
+    def test_no_packets_raises(self):
+        stats = NetworkStatistics(4)
+        with pytest.raises(ValueError):
+            _ = stats.average_latency
+        with pytest.raises(ValueError):
+            stats.latency_percentile(99)
+
+    def test_retransmission_total(self):
+        stats = NetworkStatistics(4)
+        stats.hop_retransmissions = 7
+        stats.e2e_retransmission_flits = 8
+        assert stats.total_retransmitted_flits == 15
+
+    def test_mode_breakdown_normalizes(self):
+        stats = NetworkStatistics(4)
+        stats.record_mode_cycles(0, 100)
+        stats.record_mode_cycles(1, 300)
+        breakdown = stats.mode_breakdown()
+        assert breakdown[0] == pytest.approx(0.25)
+        assert breakdown[1] == pytest.approx(0.75)
+
+    def test_empty_mode_breakdown(self):
+        assert sum(NetworkStatistics(4).mode_breakdown().values()) == 0.0

@@ -1,0 +1,74 @@
+"""Tests for the Table 2 area model."""
+
+import pytest
+
+from repro.config import CP, CPD, EB, INTELLINOC, SECDED_BASELINE, all_techniques
+from repro.power.area import PAPER_TABLE2, AreaModel
+
+
+@pytest.fixture
+def model():
+    return AreaModel()
+
+
+class TestPublishedTotals:
+    @pytest.mark.parametrize(
+        "technique,total",
+        [
+            (SECDED_BASELINE, 119807.0),
+            (EB, 80612.6),
+            (CP, 83953.1),
+            (CPD, 83953.1),
+            (INTELLINOC, 89313.7),
+        ],
+    )
+    def test_totals_reproduce_table2(self, model, technique, total):
+        assert model.total(technique) == pytest.approx(total, rel=1e-6)
+
+    @pytest.mark.parametrize(
+        "technique,pct",
+        [(EB, -32.7), (CP, -29.9), (INTELLINOC, -25.4)],
+    )
+    def test_percent_change_row(self, model, technique, pct):
+        assert model.percent_change_vs_baseline(technique) == pytest.approx(pct, abs=0.1)
+
+    def test_component_rows_match_paper(self, model):
+        breakdown = model.breakdown(INTELLINOC)
+        published = PAPER_TABLE2["IntelliNoC"]
+        assert breakdown.crossbar == published["crossbar"]
+        assert breakdown.channel == published["channel"]
+        assert breakdown.ecc == published["ecc"]
+
+
+class TestOrdering:
+    def test_all_alternatives_smaller_than_baseline(self, model):
+        base = model.total(SECDED_BASELINE)
+        for technique in all_techniques():
+            if technique.name != "SECDED":
+                assert model.total(technique) < base
+
+    def test_eb_smallest(self, model):
+        totals = {t.name: model.total(t) for t in all_techniques()}
+        assert totals["EB"] == min(totals.values())
+
+    def test_intellinoc_pays_for_adaptivity(self, model):
+        """IntelliNoC > CP: adaptive ECC + MFAC control + Q-table cost area."""
+        assert model.total(INTELLINOC) > model.total(CP)
+
+
+class TestCompositionalFallback:
+    def test_unknown_configuration_composes(self, model):
+        from dataclasses import replace
+
+        custom = replace(INTELLINOC, name="Custom")
+        breakdown = model.breakdown(custom)
+        assert breakdown.total > 0
+        assert breakdown.qtable > 0  # RL technique pays the 4% Q-table
+
+    def test_qtable_fraction(self, model):
+        from dataclasses import replace
+
+        custom = replace(INTELLINOC, name="Custom")
+        b = model.breakdown(custom)
+        components = b.router_buffer + b.crossbar + b.channel + b.ecc
+        assert b.qtable == pytest.approx(0.04 * components)

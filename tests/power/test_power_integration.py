@@ -1,0 +1,66 @@
+"""Integration: power accounting invariants across full simulations."""
+
+import pytest
+
+from repro.config import FaultConfig
+from repro.traffic.trace import TraceEvent
+from tests.conftest import ALL_TECHNIQUES, make_network
+
+NO_FAULTS = FaultConfig(base_bit_error_rate=0.0)
+
+
+def busy_events(n=120):
+    return [
+        TraceEvent(i * 4, (i * 7) % 64, (i * 17 + 3) % 64, 4)
+        for i in range(n)
+        if (i * 7) % 64 != (i * 17 + 3) % 64
+    ]
+
+
+class TestEnergyInvariants:
+    @pytest.mark.parametrize("technique", ALL_TECHNIQUES, ids=lambda t: t.name)
+    def test_static_energy_scales_with_time(self, technique):
+        short = make_network(technique=technique, events=[], faults=NO_FAULTS)
+        long = make_network(technique=technique, events=[], faults=NO_FAULTS)
+        short.run(500)
+        long.run(2000)
+        ratio = long.accountant.total_static_pj() / short.accountant.total_static_pj()
+        # Idle networks may gate over time, so static grows sub-linearly
+        # but must keep growing.
+        assert 1.5 < ratio <= 4.1
+
+    @pytest.mark.parametrize("technique", ALL_TECHNIQUES, ids=lambda t: t.name)
+    def test_dynamic_energy_scales_with_traffic(self, technique):
+        quiet = make_network(technique=technique, events=busy_events(20),
+                             faults=NO_FAULTS)
+        busy = make_network(technique=technique, events=busy_events(120),
+                            faults=NO_FAULTS)
+        quiet.run_to_completion(20_000)
+        busy.run_to_completion(20_000)
+        assert (
+            busy.accountant.total_dynamic_pj()
+            > 2 * quiet.accountant.total_dynamic_pj()
+        )
+
+    def test_per_router_energy_follows_traffic(self):
+        events = [TraceEvent(i * 3, 0, 7, 4) for i in range(60)]
+        net = make_network(events=events, faults=NO_FAULTS)
+        net.run_to_completion(10_000)
+        on_path = net.accountant.dynamic_pj[3]  # row-0 transit router
+        off_path = net.accountant.dynamic_pj[59]
+        assert on_path > 5 * max(off_path, 1.0)
+
+    def test_totals_equal_per_router_sums(self):
+        net = make_network(events=busy_events(60), faults=NO_FAULTS)
+        net.run_to_completion(10_000)
+        assert net.accountant.total_dynamic_pj() == pytest.approx(
+            float(net.accountant.dynamic_pj.sum())
+        )
+        assert net.accountant.total_static_pj() == pytest.approx(
+            float(net.accountant.static_pj.sum())
+        )
+        static_w, dynamic_w = net.accountant.average_power_w(net.cycle)
+        seconds = net.cycle / net.config.power.clock_frequency_hz
+        assert (static_w + dynamic_w) * seconds * 1e12 == pytest.approx(
+            net.accountant.total_pj(), rel=1e-9
+        )

@@ -1,0 +1,118 @@
+"""Tests for sparse tabular Q-learning."""
+
+import numpy as np
+import pytest
+
+from repro.rl.qlearning import QTable
+
+
+def table(**kwargs):
+    defaults = dict(num_actions=3, learning_rate=0.5, discount=0.9)
+    defaults.update(kwargs)
+    return QTable(**defaults)
+
+
+class TestUpdate:
+    def test_eq2_temporal_difference(self):
+        q = table()
+        s, s2 = (0,), (1,)
+        q.q_values(s)  # materialize rows at zero before any target exists
+        q.q_values(s2)
+        new = q.update(s, 1, reward=-2.0, next_state=s2)
+        # (1-0.5)*0 + 0.5*(-2 + 0.9*0) = -1.
+        assert new == pytest.approx(-1.0)
+        assert q.q_values(s)[1] == pytest.approx(-1.0)
+
+    def test_bootstraps_from_next_state(self):
+        q = table(learning_rate=1.0)
+        q.q_values((1,))
+        q.q_values((2,))
+        q.update((1,), 0, reward=10.0, next_state=(2,))
+        q.update((0,), 0, reward=0.0, next_state=(1,))
+        assert q.q_values((0,))[0] == pytest.approx(0.9 * 10.0)
+
+    def test_convergence_on_self_loop(self):
+        """With a single action, updates converge to r / (1 - gamma)."""
+        q = QTable(1, 0.2, 0.5)
+        s = (0,)
+        for _ in range(500):
+            q.update(s, 0, reward=-1.0, next_state=s)
+        assert q.q_values(s)[0] == pytest.approx(-2.0, rel=1e-3)
+
+    def test_invalid_action_rejected(self):
+        with pytest.raises(ValueError):
+            table().update((0,), 5, 0.0, (0,))
+
+
+class TestRowInitialization:
+    def test_new_rows_adopt_target_scale(self):
+        """With uniformly negative rewards, unexplored actions must not
+        look better than explored ones (the mode-0 degeneracy)."""
+        q = table(preferred_action=1)
+        s = (0,)
+        for _ in range(20):
+            q.update(s, 0, reward=-10.0, next_state=s)
+        fresh = q.q_values((99,))
+        assert fresh.max() < -1.0  # initialized near the target EMA
+
+    def test_preferred_action_breaks_ties(self):
+        q = table(preferred_action=1)
+        assert q.best_action((0,)) == 1
+
+    def test_without_preference_ties_go_low(self):
+        q = table()
+        assert q.best_action((0,)) == 0
+
+
+class TestCapacity:
+    def test_lru_eviction_at_budget(self):
+        q = table(max_entries=2)
+        q.q_values((0,))
+        q.q_values((1,))
+        q.q_values((2,))
+        assert len(q) == 2
+        assert q.evictions == 1
+        assert (0,) not in q.states()
+
+    def test_touch_refreshes_lru_order(self):
+        q = table(max_entries=2)
+        q.q_values((0,))
+        q.q_values((1,))
+        q.q_values((0,))  # refresh
+        q.q_values((2,))
+        assert (0,) in q.states() and (1,) not in q.states()
+
+    def test_unbounded_by_default(self):
+        q = table()
+        for i in range(1000):
+            q.q_values((i,))
+        assert len(q) == 1000
+
+
+class TestClone:
+    def test_clone_copies_values_not_references(self):
+        q = table()
+        q.update((0,), 1, -3.0, (0,))
+        other = table()
+        q.clone_into(other)
+        assert np.array_equal(other.q_values((0,)), q.q_values((0,)))
+        other.update((0,), 1, -100.0, (0,))
+        assert other.q_values((0,))[1] != q.q_values((0,))[1]
+
+    def test_clone_respects_target_capacity(self):
+        q = table()
+        for i in range(10):
+            q.q_values((i,))
+        small = table(max_entries=4)
+        q.clone_into(small)
+        assert len(small) == 4
+
+
+class TestValidation:
+    def test_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            QTable(0, 0.1, 0.9)
+        with pytest.raises(ValueError):
+            QTable(3, 0.0, 0.9)
+        with pytest.raises(ValueError):
+            QTable(3, 0.1, 1.5)

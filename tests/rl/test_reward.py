@@ -1,0 +1,61 @@
+"""Tests for the Eq. 1 reward."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rl.reward import compute_reward, reward_components
+
+
+class TestComputeReward:
+    def test_log_space_sum(self):
+        # latency 20 cycles, power 5 mW, aging 1.05.
+        r = compute_reward(20.0, 5e-3, 1.05)
+        assert r == pytest.approx(-(math.log(20) + math.log(5) + math.log(1.05)))
+
+    def test_lower_latency_is_better(self):
+        assert compute_reward(10.0, 5e-3, 1.0) > compute_reward(40.0, 5e-3, 1.0)
+
+    def test_lower_power_is_better(self):
+        assert compute_reward(20.0, 2e-3, 1.0) > compute_reward(20.0, 8e-3, 1.0)
+
+    def test_less_aging_is_better(self):
+        assert compute_reward(20.0, 5e-3, 1.0) > compute_reward(20.0, 5e-3, 1.2)
+
+    def test_reward_is_bounded_above(self):
+        """Quantities are kept > 1 (Section 5), so each term is a penalty."""
+        assert compute_reward(0.0, 0.0, 1.0) <= 0.0
+
+    def test_scale_invariance_of_differences(self):
+        """Log space: a constant power scale shifts rewards by a constant
+        (Section 5's argument for why units don't matter)."""
+        d1 = compute_reward(20.0, 4e-3, 1.0) - compute_reward(20.0, 8e-3, 1.0)
+        d2 = compute_reward(20.0, 40e-3, 1.0) - compute_reward(20.0, 80e-3, 1.0)
+        assert d1 == pytest.approx(d2)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            compute_reward(-1.0, 5e-3, 1.0)
+        with pytest.raises(ValueError):
+            compute_reward(20.0, -5e-3, 1.0)
+        with pytest.raises(ValueError):
+            compute_reward(20.0, 5e-3, 0.9)
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e5),
+        st.floats(min_value=1e-6, max_value=10.0),
+        st.floats(min_value=1.0, max_value=2.0),
+    )
+    def test_always_finite(self, lat, power, aging):
+        assert math.isfinite(compute_reward(lat, power, aging))
+
+
+class TestComponents:
+    def test_components_sum_to_reward(self):
+        parts = reward_components(20.0, 5e-3, 1.05)
+        assert sum(parts) == pytest.approx(compute_reward(20.0, 5e-3, 1.05))
+
+    def test_each_component_nonpositive(self):
+        parts = reward_components(20.0, 5e-3, 1.05)
+        assert all(p <= 0 for p in parts)

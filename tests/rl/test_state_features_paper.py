@@ -1,0 +1,65 @@
+"""The RL state vector matches Fig. 7's specification."""
+
+import numpy as np
+
+from repro.rl.state import (
+    BUFFER_UTILIZATION_RANGE,
+    LINK_UTILIZATION_RANGE,
+    TEMPERATURE_RANGE,
+    StateExtractor,
+)
+from tests.rl.test_state import make_obs
+
+
+class TestFig7Layout:
+    """Fig. 7: rows 1-5 input-link, 6-10 buffer, 11-15 output-link, 16 temp."""
+
+    def test_feature_count_is_sixteen(self):
+        assert StateExtractor.NUM_FEATURES == 16
+
+    def test_input_links_occupy_first_group(self):
+        ex = StateExtractor(5)
+        quiet = ex.extract(make_obs())
+        busy_in = ex.extract(make_obs(in_util=0.25))
+        assert quiet[0:5] != busy_in[0:5]
+        assert quiet[5:] == busy_in[5:]
+
+    def test_buffers_occupy_second_group(self):
+        ex = StateExtractor(5)
+        quiet = ex.extract(make_obs())
+        full_buf = ex.extract(make_obs(buf=0.7))
+        assert quiet[5:10] != full_buf[5:10]
+        assert quiet[0:5] == full_buf[0:5]
+        assert quiet[10:] == full_buf[10:]
+
+    def test_output_links_occupy_third_group(self):
+        ex = StateExtractor(5)
+        quiet = ex.extract(make_obs())
+        busy_out = ex.extract(make_obs(out_util=0.25))
+        assert quiet[10:15] != busy_out[10:15]
+        assert quiet[:10] == busy_out[:10]
+
+    def test_temperature_is_last_feature(self):
+        ex = StateExtractor(5)
+        cool = ex.extract(make_obs(temp=TEMPERATURE_RANGE[0]))
+        hot = ex.extract(make_obs(temp=TEMPERATURE_RANGE[1]))
+        assert cool[:15] == hot[:15]
+        assert cool[15] == 0 and hot[15] == 4
+
+    def test_five_bins_per_feature(self):
+        """Section 5: each feature evenly discretized into five bins."""
+        ex = StateExtractor(5)
+        lo, hi = LINK_UTILIZATION_RANGE
+        seen = {
+            ex.extract(make_obs(in_util=lo + frac * (hi - lo) * 0.999))[0]
+            for frac in np.linspace(0, 1, 21)
+        }
+        assert seen == {0, 1, 2, 3, 4}
+
+    def test_even_bin_widths(self):
+        ex = StateExtractor(5)
+        lo, hi = BUFFER_UTILIZATION_RANGE
+        width = (hi - lo) / 5
+        for b in range(5):
+            value = lo + (b + 0.5) * width
+            assert ex._discretize(value, lo, hi) == b

@@ -1,0 +1,95 @@
+"""Tests for the synthetic PARSEC trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.parsec import (
+    PARSEC_BENCHMARKS,
+    PARSEC_PROFILES,
+    BenchmarkProfile,
+    default_hotspots,
+    generate_parsec_trace,
+)
+
+
+class TestProfiles:
+    def test_ten_test_benchmarks_plus_tuning(self):
+        assert len(PARSEC_BENCHMARKS) == 10
+        assert "blackscholes" in PARSEC_PROFILES
+        assert "blackscholes" not in PARSEC_BENCHMARKS
+
+    def test_paper_abbreviations_present(self):
+        for name in ("bod", "can", "dedup", "fac", "fer", "fre", "flu", "swa", "vips", "x264s"):
+            assert name in PARSEC_PROFILES
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile("x", 0.0, 0.1, 0.1, 0.1)
+        with pytest.raises(ValueError):
+            BenchmarkProfile("x", 0.01, 2.0, 0.1, 0.1)
+        with pytest.raises(ValueError):
+            BenchmarkProfile("x", 0.01, 0.1, 0.7, 0.7)  # fractions > 1
+
+    def test_swa_is_quietest_can_among_heaviest(self):
+        rates = {k: p.injection_rate for k, p in PARSEC_PROFILES.items()}
+        assert min(rates, key=rates.get) == "swa"
+        assert rates["can"] > 2.5 * rates["swa"]
+
+
+class TestGeneration:
+    def test_reproducible_from_seed(self):
+        a = generate_parsec_trace("bod", 8, 8, 3000, 4, seed=11)
+        b = generate_parsec_trace("bod", 8, 8, 3000, 4, seed=11)
+        assert a.events == b.events
+
+    def test_different_seeds_differ(self):
+        a = generate_parsec_trace("bod", 8, 8, 3000, 4, seed=11)
+        b = generate_parsec_trace("bod", 8, 8, 3000, 4, seed=12)
+        assert a.events != b.events
+
+    def test_rate_matches_profile(self):
+        profile = PARSEC_PROFILES["fac"]
+        trace = generate_parsec_trace("fac", 8, 8, 20_000, 4, seed=3)
+        rate = len(trace) / (20_000 * 64)
+        assert rate == pytest.approx(profile.injection_rate, rel=0.25)
+
+    def test_hotspot_bias_visible(self):
+        trace = generate_parsec_trace("can", 8, 8, 10_000, 4, seed=3)
+        hotspots = set(default_hotspots(8, 8))
+        to_hot = sum(1 for e in trace if e.dst in hotspots)
+        # can aims 35% at 4 of 64 nodes; uniform would send ~6%.
+        assert to_hot / len(trace) > 0.2
+
+    def test_locality_bias_visible(self):
+        trace = generate_parsec_trace("flu", 8, 8, 10_000, 4, seed=3)
+        near = sum(
+            1
+            for e in trace
+            if abs(e.src % 8 - e.dst % 8) + abs(e.src // 8 - e.dst // 8) <= 2
+        )
+        assert near / len(trace) > 0.35  # flu has 45% locality
+
+    def test_reply_fraction_realized(self):
+        trace = generate_parsec_trace("bod", 8, 8, 10_000, 4, seed=3)
+        frac = sum(1 for e in trace if e.reply) / len(trace)
+        assert frac == pytest.approx(PARSEC_PROFILES["bod"].reply_fraction, abs=0.07)
+
+    def test_burstiness_raises_variance(self):
+        smooth = BenchmarkProfile("smooth", 0.02, 0.0, 0.0, 0.0, 1, 0.0, 0.0)
+        bursty = BenchmarkProfile("bursty", 0.02, 1.0, 0.0, 0.0, 1, 0.0, 0.0)
+        def epoch_counts(profile):
+            trace = generate_parsec_trace(profile, 8, 8, 20_000, 4, seed=5)
+            counts = np.zeros(200)
+            for e in trace:
+                counts[e.cycle // 100] += 1
+            return counts
+        assert epoch_counts(bursty).std() > 1.5 * epoch_counts(smooth).std()
+
+    def test_duration_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            generate_parsec_trace("bod", 8, 8, 50, 4, seed=1, epoch=100)
+
+    def test_all_events_within_duration(self):
+        trace = generate_parsec_trace("vips", 8, 8, 4000, 4, seed=2)
+        assert all(0 <= e.cycle < 4000 for e in trace)
+        assert all(e.size == 4 for e in trace)

@@ -1,0 +1,95 @@
+"""Tests for synthetic traffic patterns."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.patterns import (
+    SyntheticPattern,
+    generate_synthetic_trace,
+    pattern_destination,
+)
+
+WIDTH, NODES = 8, 64
+
+
+def rng():
+    return np.random.default_rng(5)
+
+
+class TestDestinations:
+    def test_transpose(self):
+        src = 2 * WIDTH + 5  # (5, 2)
+        assert pattern_destination(SyntheticPattern.TRANSPOSE, src, NODES, WIDTH, rng()) == (
+            5 * WIDTH + 2
+        )
+
+    def test_bit_complement(self):
+        assert pattern_destination(SyntheticPattern.BIT_COMPLEMENT, 0, NODES, WIDTH, rng()) == 63
+
+    def test_shuffle_rotates_bits(self):
+        # 6-bit rotate-left of 0b100000 is 0b000001.
+        assert pattern_destination(SyntheticPattern.SHUFFLE, 32, NODES, WIDTH, rng()) == 1
+
+    def test_tornado_half_width(self):
+        dst = pattern_destination(SyntheticPattern.TORNADO, 0, NODES, WIDTH, rng())
+        assert dst == 3  # (0 + 4 - 1) % 8
+
+    def test_neighbor_wraps(self):
+        assert pattern_destination(SyntheticPattern.NEIGHBOR, 7, NODES, WIDTH, rng()) == 0
+
+    def test_hotspot_requires_hotspots(self):
+        with pytest.raises(ValueError):
+            pattern_destination(SyntheticPattern.HOTSPOT, 0, NODES, WIDTH, rng())
+
+    def test_hotspot_targets_listed_nodes(self):
+        for _ in range(20):
+            dst = pattern_destination(
+                SyntheticPattern.HOTSPOT, 5, NODES, WIDTH, rng(), hotspots=(0, 63)
+            )
+            assert dst in (0, 63)
+
+    def test_uniform_in_range(self):
+        g = rng()
+        for _ in range(50):
+            dst = pattern_destination(SyntheticPattern.UNIFORM, 0, NODES, WIDTH, g)
+            assert 0 <= dst < NODES
+
+
+class TestGenerator:
+    def test_rate_statistics(self):
+        trace = generate_synthetic_trace(
+            SyntheticPattern.UNIFORM, NODES, WIDTH, 5000, 0.02, 4, rng()
+        )
+        expected = 0.02 * NODES * 5000
+        assert abs(len(trace) - expected) < 0.15 * expected
+
+    def test_deterministic_for_same_generator_state(self):
+        a = generate_synthetic_trace(
+            SyntheticPattern.UNIFORM, NODES, WIDTH, 1000, 0.01, 4, np.random.default_rng(1)
+        )
+        b = generate_synthetic_trace(
+            SyntheticPattern.UNIFORM, NODES, WIDTH, 1000, 0.01, 4, np.random.default_rng(1)
+        )
+        assert a.events == b.events
+
+    def test_no_self_packets(self):
+        trace = generate_synthetic_trace(
+            SyntheticPattern.HOTSPOT, NODES, WIDTH, 2000, 0.05, 4, rng(), hotspots=(0, 7)
+        )
+        assert all(e.src != e.dst for e in trace)
+
+    def test_zero_rate_empty(self):
+        trace = generate_synthetic_trace(
+            SyntheticPattern.UNIFORM, NODES, WIDTH, 1000, 0.0, 4, rng()
+        )
+        assert len(trace) == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            generate_synthetic_trace(
+                SyntheticPattern.UNIFORM, NODES, WIDTH, 0, 0.1, 4, rng()
+            )
+        with pytest.raises(ValueError):
+            generate_synthetic_trace(
+                SyntheticPattern.UNIFORM, NODES, WIDTH, 100, 1.5, 4, rng()
+            )

@@ -1,0 +1,51 @@
+"""Tests for deterministic RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngFactory, make_rng
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream_reproduces(self):
+        a = make_rng(42, "traffic")
+        b = make_rng(42, "traffic")
+        assert a.integers(1 << 30) == b.integers(1 << 30)
+
+    def test_different_names_give_independent_streams(self):
+        a = make_rng(42, "traffic")
+        b = make_rng(42, "faults")
+        draws_a = a.integers(1 << 30, size=8)
+        draws_b = b.integers(1 << 30, size=8)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1, "x").integers(1 << 30) != make_rng(2, "x").integers(1 << 30)
+
+    def test_empty_name_is_valid(self):
+        assert isinstance(make_rng(7), np.random.Generator)
+
+
+class TestRngFactory:
+    def test_stream_reproducible_across_factories(self):
+        assert (
+            RngFactory(9).stream("a").random()
+            == RngFactory(9).stream("a").random()
+        )
+
+    def test_fresh_generator_each_call(self):
+        f = RngFactory(9)
+        assert f.stream("a").random() == f.stream("a").random()
+
+    def test_child_derives_distinct_factory(self):
+        f = RngFactory(9)
+        child = f.child("router/3")
+        assert child.seed != f.seed
+        assert child.stream("x").random() == RngFactory(9).child("router/3").stream("x").random()
+
+    def test_rejects_non_integer_seed(self):
+        with pytest.raises(TypeError):
+            RngFactory("not a seed")
+
+    def test_repr_mentions_seed(self):
+        assert "17" in repr(RngFactory(17))

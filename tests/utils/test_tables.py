@@ -1,0 +1,67 @@
+"""Tests for table formatting and normalization helpers."""
+
+import pytest
+
+from repro.utils.tables import format_table, geometric_mean, normalize_map
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        out = format_table(["name", "value"], [["a", 1.5], ["b", 2]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.500" in out
+        assert "2" in out
+
+    def test_title_adds_underline(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        lines = out.splitlines()
+        assert lines[0] == "My Table"
+        assert set(lines[1]) == {"="}
+
+    def test_columns_align(self):
+        out = format_table(["long header", "b"], [["x", "yyyy"]])
+        header, sep, row = out.splitlines()
+        assert header.index("|") == row.index("|")
+
+    def test_bool_not_formatted_as_float(self):
+        out = format_table(["flag"], [[True]])
+        assert "True" in out
+
+    def test_custom_float_format(self):
+        out = format_table(["v"], [[0.123456]], float_fmt="{:.1f}")
+        assert "0.1" in out
+
+
+class TestNormalizeMap:
+    def test_divides_by_baseline(self):
+        result = normalize_map({"base": 4.0, "x": 2.0}, "base")
+        assert result == {"base": 1.0, "x": 0.5}
+
+    def test_invert_for_speedups(self):
+        result = normalize_map({"base": 4.0, "x": 2.0}, "base", invert=True)
+        assert result == {"base": 1.0, "x": 2.0}
+
+    def test_missing_baseline_raises(self):
+        with pytest.raises(KeyError):
+            normalize_map({"x": 1.0}, "base")
+
+    def test_zero_baseline_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            normalize_map({"base": 0.0}, "base")
+
+
+class TestGeometricMean:
+    def test_of_identical_values(self):
+        assert geometric_mean([3.0, 3.0, 3.0]) == pytest.approx(3.0)
+
+    def test_of_reciprocal_pair_is_one(self):
+        assert geometric_mean([2.0, 0.5]) == pytest.approx(1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
