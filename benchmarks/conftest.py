@@ -12,6 +12,9 @@ Environment knobs:
 * ``REPRO_BENCH_DURATION``  — trace length in cycles (default 6000).
 * ``REPRO_BENCH_PRETRAIN``  — RL pre-training cycles (default 40000).
 * ``REPRO_BENCH_SEED``      — campaign seed (default 7).
+* ``REPRO_BENCH_JOBS``      — parallel worker processes (default 1).
+* ``REPRO_BENCH_CACHE_DIR`` — result-cache directory; set it to make
+  repeated bench sessions pure cache reads (default: caching off).
 """
 
 from __future__ import annotations
@@ -28,6 +31,8 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 BENCH_DURATION = int(os.environ.get("REPRO_BENCH_DURATION", "6000"))
 BENCH_PRETRAIN = int(os.environ.get("REPRO_BENCH_PRETRAIN", "40000"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+BENCH_CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE_DIR") or None
 
 
 @pytest.fixture(scope="session")
@@ -37,6 +42,9 @@ def runner() -> ExperimentRunner:
         duration=BENCH_DURATION,
         seed=BENCH_SEED,
         pretrain_cycles=BENCH_PRETRAIN,
+        jobs=BENCH_JOBS,
+        cache_dir=BENCH_CACHE_DIR,
+        use_cache=BENCH_CACHE_DIR is not None,
     )
 
 

@@ -34,6 +34,18 @@ from repro.config import (
 from repro.core.experiment import ExperimentResult, ExperimentRunner, run_technique
 from repro.core.intellinoc import IntelliNoCSystem, pretrain_agents
 from repro.core.sweep import SensitivitySweep, SweepPoint
+from repro.exec import (
+    CampaignEngine,
+    CampaignReport,
+    CellSpec,
+    ParallelExecutor,
+    ResultStore,
+    SerialExecutor,
+    WorkloadSpec,
+    parsec_cell,
+    run_cells,
+    synthetic_cell,
+)
 from repro.metrics.summary import RunMetrics
 from repro.noc.network import Network
 from repro.traffic.parsec import PARSEC_BENCHMARKS, PARSEC_PROFILES, generate_parsec_trace
@@ -45,6 +57,9 @@ __version__ = "1.0.0"
 __all__ = [
     "CP",
     "CPD",
+    "CampaignEngine",
+    "CampaignReport",
+    "CellSpec",
     "EB",
     "INTELLINOC",
     "SECDED_BASELINE",
@@ -52,6 +67,10 @@ __all__ = [
     "EccScheme",
     "ExperimentResult",
     "ExperimentRunner",
+    "ParallelExecutor",
+    "ResultStore",
+    "SerialExecutor",
+    "WorkloadSpec",
     "FaultConfig",
     "IntelliNoCSystem",
     "Network",
@@ -71,7 +90,10 @@ __all__ = [
     "all_techniques",
     "generate_parsec_trace",
     "generate_synthetic_trace",
+    "parsec_cell",
     "pretrain_agents",
+    "run_cells",
     "run_technique",
+    "synthetic_cell",
     "technique",
 ]

@@ -33,6 +33,43 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    """Execution-engine knobs shared by campaign and sweep."""
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run up to N cells in parallel worker processes (default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory (default: ~/.cache/intellinoc-repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache (always re-simulate)",
+    )
+
+
+def _engine_kwargs(args: argparse.Namespace) -> dict:
+    return {
+        "jobs": args.jobs,
+        "cache_dir": None if args.no_cache else args.cache_dir,
+        "use_cache": not args.no_cache,
+        "progress": _print_progress,
+    }
+
+
+def _print_progress(event) -> None:
+    """One stderr line per cell start/finish so long campaigns show life."""
+    if event.kind == "done":
+        print(f"[{event.completed}/{event.total}] {event.spec.label} "
+              f"done in {event.seconds:.1f}s", file=sys.stderr)
+    elif event.kind == "cached":
+        print(f"[{event.completed}/{event.total}] {event.spec.label} "
+              "(cache hit)", file=sys.stderr)
+    elif event.kind in ("retry", "failed"):
+        print(f"{event.spec.label} {event.kind}: {event.error}", file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     system = IntelliNoCSystem(args.technique, seed=args.seed)
     if args.pretrain and technique(args.technique).policy.value == "rl":
@@ -70,6 +107,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         seed=args.seed,
         benchmarks=args.benchmarks,
         pretrain_cycles=args.pretrain,
+        **_engine_kwargs(args),
     )
     runner.run_campaign()
     figures = {
@@ -95,7 +133,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    sweep = SensitivitySweep(duration=args.duration, seed=args.seed)
+    sweep = SensitivitySweep(
+        duration=args.duration, seed=args.seed, **_engine_kwargs(args)
+    )
     dispatch = {
         "time-step": (sweep.sweep_time_step, int),
         "error-rate": (sweep.sweep_error_rate, float),
@@ -171,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="subset of figures to print")
     p.add_argument("--pretrain", type=int, default=20_000)
     _add_common(p)
+    _add_engine_options(p)
     p.set_defaults(fn=_cmd_campaign)
 
     p = sub.add_parser("sweep", help="sensitivity sweep (Figs. 17-18)")
@@ -178,6 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="time-step | error-rate | gamma | epsilon")
     p.add_argument("--values", nargs="+", required=True)
     _add_common(p)
+    _add_engine_options(p)
     p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser("trace", help="generate and save a PARSEC-profile trace")
@@ -194,7 +236,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ValueError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -12,7 +12,51 @@ The defaults mirror Table 1 of the paper:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, is_dataclass, replace
+
+
+# --- deterministic fingerprinting -------------------------------------------
+#
+# The execution engine (`repro.exec`) keys its on-disk result cache by a
+# content hash of everything that determines a run's outcome: technique,
+# workload parameters, seed, fault model.  Canonicalization must therefore
+# be *stable*: dict keys sorted, enums reduced to their values, tuples and
+# lists unified, floats serialized by repr (shortest round-trip).
+
+def canonical_value(obj):
+    """Reduce a config object to a canonical JSON-safe structure.
+
+    Handles (recursively) dataclasses, enums, dicts, lists/tuples and JSON
+    scalars.  The output is deterministic for equal inputs regardless of
+    construction order.
+    """
+    if is_dataclass(obj) and not isinstance(obj, type):
+        out = {f.name: canonical_value(getattr(obj, f.name)) for f in fields(obj)}
+        out["__type__"] = type(obj).__name__
+        return out
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, dict):
+        return {str(k): canonical_value(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [canonical_value(v) for v in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__}: {obj!r}")
+
+
+def canonical_json(obj) -> str:
+    """Canonical JSON text of :func:`canonical_value` (sorted, compact)."""
+    return json.dumps(
+        canonical_value(obj), sort_keys=True, separators=(",", ":"), allow_nan=True
+    )
+
+
+def fingerprint(obj) -> str:
+    """Stable sha256 hex digest of an object's canonical JSON form."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
 
 
 class EccScheme(enum.Enum):

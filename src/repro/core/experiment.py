@@ -1,28 +1,37 @@
 """Experiment harness: (technique x benchmark) campaigns (Section 7).
 
 Every figure of the paper's evaluation compares the five techniques over
-the PARSEC suite, normalized to the SECDED baseline.  The runner executes
-those campaigns on identical traces, caches results within a process, and
-renders paper-style tables.
+the PARSEC suite, normalized to the SECDED baseline.  The runner builds
+one :class:`~repro.exec.spec.CellSpec` per campaign cell and hands the
+grid to the :class:`~repro.exec.engine.CampaignEngine`, which executes
+cells serially or across worker processes (``jobs``) and memoizes results
+in an on-disk content-addressed store (``cache_dir``/``use_cache``).
+Figure rendering is delegated to the pure functions of
+:mod:`repro.core.figures`, which read only stored results.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.config import (
+    ControlPolicy,
     FaultConfig,
     SimulationConfig,
     TechniqueConfig,
     all_techniques,
 )
 from repro.control.policies import ModePolicy
-from repro.core.intellinoc import pretrain_agents
+from repro.core import figures
+from repro.exec.engine import CampaignEngine
+from repro.exec.executors import ParallelExecutor, ProgressCallback, SerialExecutor
+from repro.exec.spec import CellSpec, parsec_cell
+from repro.exec.store import ResultStore
 from repro.metrics.summary import RunMetrics
 from repro.noc.network import Network
 from repro.traffic.parsec import PARSEC_BENCHMARKS, generate_parsec_trace
 from repro.traffic.trace import Trace
-from repro.utils.tables import format_table, geometric_mean, normalize_map
 
 
 @dataclass(frozen=True)
@@ -42,7 +51,12 @@ def run_technique(
     policy: ModePolicy | None = None,
     max_cycles: int | None = None,
 ) -> RunMetrics:
-    """Run one technique on one trace to completion."""
+    """Run one technique on one explicit trace to completion.
+
+    The low-level escape hatch for callers that bring their own trace or
+    policy (ablations); campaign work should go through specs and the
+    engine so it parallelizes and caches.
+    """
     config = SimulationConfig(
         technique=technique,
         seed=seed,
@@ -56,7 +70,13 @@ def run_technique(
 
 @dataclass
 class ExperimentRunner:
-    """Runs full campaigns and renders the paper's figures as tables."""
+    """Runs full campaigns and renders the paper's figures as tables.
+
+    ``jobs > 1`` executes cells in worker processes; ``use_cache=True`` (or
+    an explicit ``cache_dir``) persists every cell result so repeated
+    campaigns are pure cache reads.  Results are bit-identical across all
+    of these modes: every cell is a pure function of its spec.
+    """
 
     duration: int = 8_000
     seed: int = 1
@@ -64,13 +84,64 @@ class ExperimentRunner:
     benchmarks: list[str] = field(default_factory=lambda: list(PARSEC_BENCHMARKS))
     techniques: list[TechniqueConfig] = field(default_factory=all_techniques)
     pretrain_cycles: int = 16_000
+    jobs: int = 1
+    cache_dir: str | Path | None = None
+    use_cache: bool = False
+    timeout_s: float | None = None
+    progress: ProgressCallback | None = None
     _cache: dict[tuple[str, str], RunMetrics] = field(default_factory=dict, repr=False)
-    _trace_cache: dict[tuple[str, int], Trace] = field(default_factory=dict, repr=False)
-    _pretrained: dict[str, ModePolicy] = field(default_factory=dict, repr=False)
+    _trace_cache: dict[tuple, Trace] = field(default_factory=dict, repr=False)
+    _engine: CampaignEngine | None = field(default=None, repr=False)
+
+    # --- engine plumbing ------------------------------------------------------
+
+    @property
+    def engine(self) -> CampaignEngine:
+        if self._engine is None:
+            if self.jobs > 1:
+                executor = ParallelExecutor(
+                    jobs=self.jobs, timeout_s=self.timeout_s
+                )
+            else:
+                executor = SerialExecutor()
+            store = (
+                ResultStore(self.cache_dir)
+                if (self.use_cache or self.cache_dir is not None)
+                else None
+            )
+            self._engine = CampaignEngine(
+                executor=executor, store=store, progress=self.progress
+            )
+        return self._engine
+
+    def spec_for(self, technique: TechniqueConfig, benchmark: str) -> CellSpec:
+        """The content-addressed job description of one campaign cell."""
+        pretrain = (
+            self.pretrain_cycles
+            if technique.policy is ControlPolicy.RL
+            else 0
+        )
+        return parsec_cell(
+            technique=technique,
+            benchmark=benchmark,
+            duration=self.duration,
+            seed=self.seed,
+            faults=self.faults,
+            pretrain_cycles=pretrain,
+        )
 
     def trace_for(self, benchmark: str, technique: TechniqueConfig) -> Trace:
+        """The exact trace a cell runs (techniques with one geometry share it).
+
+        The key carries the full generator parameter set — mesh geometry,
+        duration, packet size and seed — so techniques with different NoC
+        shapes never silently share a trace built for another geometry.
+        """
         noc = technique.noc
-        key = (benchmark, noc.flits_per_packet)
+        key = (
+            benchmark, noc.width, noc.height, self.duration,
+            noc.flits_per_packet, self.seed,
+        )
         if key not in self._trace_cache:
             self._trace_cache[key] = generate_parsec_trace(
                 benchmark, noc.width, noc.height, self.duration,
@@ -78,128 +149,74 @@ class ExperimentRunner:
             )
         return self._trace_cache[key]
 
-    def _policy_for(self, technique: TechniqueConfig) -> ModePolicy | None:
-        """IntelliNoC runs with agents pre-trained on blackscholes."""
-        from repro.config import ControlPolicy
-
-        if technique.policy is not ControlPolicy.RL:
-            return None
-        if technique.name not in self._pretrained:
-            self._pretrained[technique.name] = pretrain_agents(
-                technique,
-                duration=self.pretrain_cycles,
-                seed=self.seed,
-                faults=self.faults,
-            )
-        return self._pretrained[technique.name]
+    # --- campaign execution ---------------------------------------------------
 
     def run_cell(self, technique: TechniqueConfig, benchmark: str) -> RunMetrics:
         key = (technique.name, benchmark)
         if key not in self._cache:
-            self._cache[key] = run_technique(
-                technique,
-                self.trace_for(benchmark, technique),
-                seed=self.seed,
-                faults=self.faults,
-                policy=self._policy_for(technique),
-            )
+            report = self.engine.run([self.spec_for(technique, benchmark)])
+            self._cache[key] = report.metrics[0]
         return self._cache[key]
 
     def run_campaign(self) -> dict[tuple[str, str], RunMetrics]:
-        """All (technique, benchmark) cells."""
-        for technique in self.techniques:
-            for benchmark in self.benchmarks:
-                self.run_cell(technique, benchmark)
+        """All (technique, benchmark) cells, executed via the engine."""
+        missing = [
+            (technique, benchmark)
+            for technique in self.techniques
+            for benchmark in self.benchmarks
+            if (technique.name, benchmark) not in self._cache
+        ]
+        if missing:
+            specs = [self.spec_for(t, b) for t, b in missing]
+            report = self.engine.run(specs)
+            for (technique, benchmark), metrics in zip(missing, report.metrics):
+                self._cache[(technique.name, benchmark)] = metrics
         return dict(self._cache)
 
-    # --- figure renderers -----------------------------------------------------
+    # --- figure renderers (pure functions over campaign results) -------------
 
-    def _metric_table(
-        self,
-        title: str,
-        metric,
-        invert: bool = False,
-        baseline: str = "SECDED",
-    ) -> tuple[str, dict[str, float]]:
-        """Per-benchmark normalized metric table plus technique averages."""
-        rows = []
-        averages: dict[str, list[float]] = {t.name: [] for t in self.techniques}
-        for benchmark in self.benchmarks:
-            raw = {
-                t.name: metric(self.run_cell(t, benchmark)) for t in self.techniques
-            }
-            normalized = normalize_map(raw, baseline, invert=invert)
-            rows.append([benchmark] + [normalized[t.name] for t in self.techniques])
-            for name, value in normalized.items():
-                averages[name].append(value)
-        avg_row = ["average"] + [
-            geometric_mean(averages[t.name]) for t in self.techniques
-        ]
-        rows.append(avg_row)
-        headers = ["benchmark"] + [t.name for t in self.techniques]
-        table = format_table(headers, rows, title=title)
-        return table, {t.name: avg_row[1 + i] for i, t in enumerate(self.techniques)}
+    @property
+    def _technique_names(self) -> list[str]:
+        return [t.name for t in self.techniques]
 
     def figure9_speedup(self):
-        """Fig. 9: execution-time speed-up vs SECDED (higher is better)."""
-        return self._metric_table(
-            "Fig. 9 - Speed-up of execution time (normalized to SECDED)",
-            lambda m: m.execution_cycles,
-            invert=True,
+        return figures.figure9_speedup(
+            self.run_campaign(), self._technique_names, self.benchmarks
         )
 
     def figure10_latency(self):
-        """Fig. 10: average end-to-end latency (lower is better)."""
-        return self._metric_table(
-            "Fig. 10 - Average end-to-end latency (normalized)",
-            lambda m: m.latency.mean,
+        return figures.figure10_latency(
+            self.run_campaign(), self._technique_names, self.benchmarks
         )
 
     def figure11_static_power(self):
-        return self._metric_table(
-            "Fig. 11 - Static power consumption (normalized)",
-            lambda m: m.static_power_w,
+        return figures.figure11_static_power(
+            self.run_campaign(), self._technique_names, self.benchmarks
         )
 
     def figure12_dynamic_power(self):
-        return self._metric_table(
-            "Fig. 12 - Dynamic power consumption (normalized)",
-            lambda m: m.dynamic_power_w,
+        return figures.figure12_dynamic_power(
+            self.run_campaign(), self._technique_names, self.benchmarks
         )
 
     def figure13_energy_efficiency(self):
-        return self._metric_table(
-            "Fig. 13 - Energy-efficiency (normalized, higher is better)",
-            lambda m: m.energy_efficiency,
+        return figures.figure13_energy_efficiency(
+            self.run_campaign(), self._technique_names, self.benchmarks
         )
 
     def figure14_mode_breakdown(self):
-        """Fig. 14: IntelliNoC operation-mode occupancy per benchmark."""
-        intellinoc = next(t for t in self.techniques if t.name == "IntelliNoC")
-        rows = []
-        for benchmark in self.benchmarks:
-            metrics = self.run_cell(intellinoc, benchmark)
-            breakdown = metrics.mode_breakdown
-            rows.append(
-                [benchmark] + [breakdown.get(mode, 0.0) for mode in range(5)]
-            )
-        headers = ["benchmark"] + [f"mode {m}" for m in range(5)]
-        table = format_table(headers, rows, title="Fig. 14 - Operation mode breakdown")
-        avg = {
-            m: sum(r[1 + m] for r in rows) / len(rows) for m in range(5)
-        }
-        return table, avg
+        return figures.figure14_mode_breakdown(
+            self.run_campaign(), self.benchmarks
+        )
 
     def figure15_retransmissions(self):
-        return self._metric_table(
-            "Fig. 15 - Number of re-transmission flits (normalized)",
-            lambda m: max(1, m.reliability.total_retransmitted_flits),
+        return figures.figure15_retransmissions(
+            self.run_campaign(), self._technique_names, self.benchmarks
         )
 
     def figure16_mttf(self):
-        return self._metric_table(
-            "Fig. 16 - Mean-time-to-failure (normalized, higher is better)",
-            lambda m: m.reliability.mttf_seconds,
+        return figures.figure16_mttf(
+            self.run_campaign(), self._technique_names, self.benchmarks
         )
 
 

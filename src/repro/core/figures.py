@@ -1,0 +1,125 @@
+"""Figure renderers: pure functions over stored campaign results.
+
+Every renderer consumes only ``results`` — a ``{(technique_name,
+benchmark): RunMetrics}`` mapping, exactly what the execution engine
+returns (or what a result-store artifact decodes to) — and produces the
+paper-style table plus the per-technique averages.  No simulation ever
+happens here, so figures can be re-rendered from cached artifacts alone.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.metrics.summary import RunMetrics
+from repro.utils.tables import format_table, geometric_mean, normalize_map
+
+Results = dict[tuple[str, str], RunMetrics]
+
+
+def metric_table(
+    results: Results,
+    technique_names: Sequence[str],
+    benchmarks: Sequence[str],
+    title: str,
+    metric: Callable[[RunMetrics], float],
+    invert: bool = False,
+    baseline: str = "SECDED",
+) -> tuple[str, dict[str, float]]:
+    """Per-benchmark normalized metric table plus technique averages."""
+    rows = []
+    averages: dict[str, list[float]] = {name: [] for name in technique_names}
+    for benchmark in benchmarks:
+        raw = {
+            name: metric(results[(name, benchmark)]) for name in technique_names
+        }
+        normalized = normalize_map(raw, baseline, invert=invert)
+        rows.append([benchmark] + [normalized[name] for name in technique_names])
+        for name, value in normalized.items():
+            averages[name].append(value)
+    avg_row = ["average"] + [
+        geometric_mean(averages[name]) for name in technique_names
+    ]
+    rows.append(avg_row)
+    headers = ["benchmark"] + list(technique_names)
+    table = format_table(headers, rows, title=title)
+    return table, {
+        name: avg_row[1 + i] for i, name in enumerate(technique_names)
+    }
+
+
+def figure9_speedup(results, technique_names, benchmarks):
+    """Fig. 9: execution-time speed-up vs SECDED (higher is better)."""
+    return metric_table(
+        results, technique_names, benchmarks,
+        "Fig. 9 - Speed-up of execution time (normalized to SECDED)",
+        lambda m: m.execution_cycles,
+        invert=True,
+    )
+
+
+def figure10_latency(results, technique_names, benchmarks):
+    """Fig. 10: average end-to-end latency (lower is better)."""
+    return metric_table(
+        results, technique_names, benchmarks,
+        "Fig. 10 - Average end-to-end latency (normalized)",
+        lambda m: m.latency.mean,
+    )
+
+
+def figure11_static_power(results, technique_names, benchmarks):
+    return metric_table(
+        results, technique_names, benchmarks,
+        "Fig. 11 - Static power consumption (normalized)",
+        lambda m: m.static_power_w,
+    )
+
+
+def figure12_dynamic_power(results, technique_names, benchmarks):
+    return metric_table(
+        results, technique_names, benchmarks,
+        "Fig. 12 - Dynamic power consumption (normalized)",
+        lambda m: m.dynamic_power_w,
+    )
+
+
+def figure13_energy_efficiency(results, technique_names, benchmarks):
+    return metric_table(
+        results, technique_names, benchmarks,
+        "Fig. 13 - Energy-efficiency (normalized, higher is better)",
+        lambda m: m.energy_efficiency,
+    )
+
+
+def figure14_mode_breakdown(
+    results: Results,
+    benchmarks: Sequence[str],
+    technique_name: str = "IntelliNoC",
+) -> tuple[str, dict[int, float]]:
+    """Fig. 14: IntelliNoC operation-mode occupancy per benchmark."""
+    rows = []
+    for benchmark in benchmarks:
+        breakdown = results[(technique_name, benchmark)].mode_breakdown
+        rows.append(
+            [benchmark] + [breakdown.get(mode, 0.0) for mode in range(5)]
+        )
+    headers = ["benchmark"] + [f"mode {m}" for m in range(5)]
+    table = format_table(headers, rows, title="Fig. 14 - Operation mode breakdown")
+    avg = {m: sum(r[1 + m] for r in rows) / len(rows) for m in range(5)}
+    return table, avg
+
+
+def figure15_retransmissions(results, technique_names, benchmarks):
+    return metric_table(
+        results, technique_names, benchmarks,
+        "Fig. 15 - Number of re-transmission flits (normalized)",
+        lambda m: max(1, m.reliability.total_retransmitted_flits),
+    )
+
+
+def figure16_mttf(results, technique_names, benchmarks):
+    return metric_table(
+        results, technique_names, benchmarks,
+        "Fig. 16 - Mean-time-to-failure (normalized, higher is better)",
+        lambda m: m.reliability.mttf_seconds,
+    )

@@ -5,16 +5,25 @@ latency per operating point, and locates the saturation throughput (the
 load at which latency exceeds a multiple of the zero-load latency).  Not a
 paper figure, but the tool any NoC study starts with; the synthetic-traffic
 example and tests build on it.
+
+Operating points are independent simulation cells, so they run through
+the campaign engine: ``jobs > 1`` measures points in parallel and a
+result store means the bisection in :meth:`saturation_rate` never re-runs
+an operating point it has already measured.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
-from repro.config import FaultConfig, SimulationConfig, TechniqueConfig
-from repro.noc.network import Network
-from repro.traffic.patterns import SyntheticPattern, generate_synthetic_trace
-from repro.utils.rng import make_rng
+from repro.config import FaultConfig, TechniqueConfig
+from repro.exec.engine import CampaignEngine
+from repro.exec.executors import ParallelExecutor, SerialExecutor
+from repro.exec.spec import CellSpec, synthetic_cell
+from repro.exec.store import ResultStore
+from repro.metrics.summary import RunMetrics
+from repro.traffic.patterns import SyntheticPattern
 
 
 @dataclass(frozen=True)
@@ -45,41 +54,63 @@ class LoadLatencySweep:
         default_factory=lambda: FaultConfig(base_bit_error_rate=1e-7)
     )
     drain_budget: int = 10_000
+    jobs: int = 1
+    cache_dir: str | Path | None = None
+    use_cache: bool = False
+    _engine: CampaignEngine | None = field(default=None, repr=False)
 
-    def measure(self, injection_rate: float) -> LoadPoint:
-        """Run one operating point."""
-        noc = self.technique.noc
-        trace = generate_synthetic_trace(
-            self.pattern,
-            noc.num_routers,
-            noc.width,
-            self.duration,
-            injection_rate,
-            self.packet_size,
-            make_rng(self.seed, f"loadlat/{self.pattern.value}/{injection_rate}"),
+    @property
+    def engine(self) -> CampaignEngine:
+        if self._engine is None:
+            executor = (
+                ParallelExecutor(jobs=self.jobs)
+                if self.jobs > 1
+                else SerialExecutor()
+            )
+            store = (
+                ResultStore(self.cache_dir)
+                if (self.use_cache or self.cache_dir is not None)
+                else None
+            )
+            self._engine = CampaignEngine(executor=executor, store=store)
+        return self._engine
+
+    def spec_for(self, injection_rate: float) -> CellSpec:
+        return synthetic_cell(
+            technique=self.technique,
+            pattern=self.pattern.value,
+            duration=self.duration,
+            injection_rate=injection_rate,
+            packet_size=self.packet_size,
+            seed=self.seed,
+            faults=self.faults,
             hotspots=self.hotspots,
+            max_cycles=self.duration + self.drain_budget,
         )
-        config = SimulationConfig(
-            technique=self.technique, seed=self.seed, faults=self.faults
-        )
-        net = Network(config, trace)
-        net.run_to_completion(self.duration + self.drain_budget)
-        injected = max(1, net.stats.packets_injected)
-        completed = net.stats.packets_completed
-        latency = (
-            net.stats.average_latency if net.stats.latency_count else float("inf")
-        )
+
+    def _point(self, injection_rate: float, metrics: RunMetrics) -> LoadPoint:
+        noc = self.technique.noc
+        completed = metrics.packets_completed
         return LoadPoint(
             injection_rate=injection_rate,
-            avg_latency=latency,
-            throughput=completed / (net.cycle * noc.num_routers),
-            completed_fraction=completed / injected,
+            avg_latency=(
+                metrics.latency.mean if metrics.latency.count else float("inf")
+            ),
+            throughput=completed / (metrics.execution_cycles * noc.num_routers),
+            completed_fraction=completed / max(1, metrics.packets_injected),
         )
+
+    def measure(self, injection_rate: float) -> LoadPoint:
+        """Run one operating point (a cache hit if already measured)."""
+        metrics = self.engine.run([self.spec_for(injection_rate)]).metrics[0]
+        return self._point(injection_rate, metrics)
 
     def sweep(self, rates: list[float]) -> list[LoadPoint]:
         if not rates:
             raise ValueError("sweep needs at least one rate")
-        return [self.measure(r) for r in sorted(rates)]
+        rates = sorted(rates)
+        metrics = self.engine.run([self.spec_for(r) for r in rates]).metrics
+        return [self._point(r, m) for r, m in zip(rates, metrics)]
 
     def saturation_rate(
         self,

@@ -3,17 +3,22 @@
 Each sweep varies one knob of the IntelliNoC configuration — RL time step,
 injected error rate, discount rate gamma, exploration epsilon — and
 re-runs the blackscholes tuning workload, reporting the metrics the paper
-plots.
+plots.  Sweep points are independent cells, so they run through the same
+campaign engine as the figure grids: ``jobs > 1`` evaluates points in
+parallel and a result store memoizes them across invocations.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 
-from repro.config import FaultConfig, INTELLINOC, SimulationConfig, TechniqueConfig
+from repro.config import FaultConfig, INTELLINOC, TechniqueConfig
+from repro.exec.engine import CampaignEngine
+from repro.exec.executors import ParallelExecutor, ProgressCallback, SerialExecutor
+from repro.exec.spec import CellSpec, parsec_cell
+from repro.exec.store import ResultStore
 from repro.metrics.summary import RunMetrics
-from repro.noc.network import Network
-from repro.traffic.parsec import generate_parsec_trace
 
 
 @dataclass(frozen=True)
@@ -41,47 +46,74 @@ class SensitivitySweep:
     duration: int = 8_000
     seed: int = 1
     faults: FaultConfig = field(default_factory=FaultConfig)
+    jobs: int = 1
+    cache_dir: str | Path | None = None
+    use_cache: bool = False
+    progress: ProgressCallback | None = None
+    _engine: CampaignEngine | None = field(default=None, repr=False)
 
-    def _run(self, technique: TechniqueConfig, faults: FaultConfig) -> RunMetrics:
-        noc = technique.noc
-        trace = generate_parsec_trace(
-            self.benchmark, noc.width, noc.height, self.duration,
-            noc.flits_per_packet, self.seed,
+    @property
+    def engine(self) -> CampaignEngine:
+        if self._engine is None:
+            executor = (
+                ParallelExecutor(jobs=self.jobs)
+                if self.jobs > 1
+                else SerialExecutor()
+            )
+            store = (
+                ResultStore(self.cache_dir)
+                if (self.use_cache or self.cache_dir is not None)
+                else None
+            )
+            self._engine = CampaignEngine(
+                executor=executor, store=store, progress=self.progress
+            )
+        return self._engine
+
+    def _spec(self, technique: TechniqueConfig, faults: FaultConfig) -> CellSpec:
+        return parsec_cell(
+            technique=technique,
+            benchmark=self.benchmark,
+            duration=self.duration,
+            seed=self.seed,
+            faults=faults,
         )
-        config = SimulationConfig(technique=technique, faults=faults, seed=self.seed)
-        network = Network(config, trace)
-        network.run_to_completion(trace.duration * 4 + 50_000)
-        return RunMetrics.from_network(network)
+
+    def _run_points(
+        self, values: list[float], specs: list[CellSpec]
+    ) -> list[SweepPoint]:
+        metrics = self.engine.run(specs).metrics
+        return [SweepPoint(v, m) for v, m in zip(values, metrics)]
 
     def sweep_time_step(self, steps: list[int]) -> list[SweepPoint]:
         """Fig. 17(a): RL control interval from 200 to 10k cycles."""
-        return [
-            SweepPoint(s, self._run(self.technique.with_rl(time_step=s), self.faults))
-            for s in steps
-        ]
+        return self._run_points(
+            steps,
+            [self._spec(self.technique.with_rl(time_step=s), self.faults)
+             for s in steps],
+        )
 
     def sweep_error_rate(self, rates: list[float]) -> list[SweepPoint]:
         """Fig. 17(b): injected average bit error rates (1e-10 .. 1e-7)."""
-        return [
-            SweepPoint(
-                r,
-                self._run(
-                    self.technique, replace(self.faults, base_bit_error_rate=r)
-                ),
-            )
-            for r in rates
-        ]
+        return self._run_points(
+            rates,
+            [self._spec(
+                self.technique, replace(self.faults, base_bit_error_rate=r)
+            ) for r in rates],
+        )
 
     def sweep_gamma(self, gammas: list[float]) -> list[SweepPoint]:
         """Fig. 18(a): discount rate gamma in [0, 1]."""
-        return [
-            SweepPoint(g, self._run(self.technique.with_rl(discount=g), self.faults))
-            for g in gammas
-        ]
+        return self._run_points(
+            gammas,
+            [self._spec(self.technique.with_rl(discount=g), self.faults)
+             for g in gammas],
+        )
 
     def sweep_epsilon(self, epsilons: list[float]) -> list[SweepPoint]:
         """Fig. 18(b): exploration probability epsilon in [0, 1]."""
-        return [
-            SweepPoint(e, self._run(self.technique.with_rl(epsilon=e), self.faults))
-            for e in epsilons
-        ]
+        return self._run_points(
+            epsilons,
+            [self._spec(self.technique.with_rl(epsilon=e), self.faults)
+             for e in epsilons],
+        )

@@ -1,0 +1,49 @@
+"""Campaign execution engine: job, executor and store layers.
+
+The paper's evaluation is a (technique x benchmark) grid; related design-
+space frameworks are only practical because they parallelize and memoize
+that grid.  This package factors campaign execution into three layers:
+
+* **job** (:mod:`repro.exec.spec`) — :class:`CellSpec`, a frozen, hashable
+  description of one simulation cell with a canonical JSON form and a
+  stable content hash.
+* **executor** (:mod:`repro.exec.executors`) — :class:`SerialExecutor`
+  and the process-pool :class:`ParallelExecutor`, with per-cell timeout,
+  retry-once-on-crash and progress callbacks.
+* **store** (:mod:`repro.exec.store`) — :class:`ResultStore`, an on-disk
+  content-addressed cache of structured run artifacts keyed by the spec
+  hash, so repeated campaigns skip simulation entirely.
+
+:mod:`repro.exec.engine` ties the layers together: dedupe, cache lookup,
+execution of the misses, artifact write-back.
+"""
+
+from repro.exec.engine import CampaignEngine, CampaignReport, run_cells
+from repro.exec.executors import (
+    CellExecutionError,
+    ParallelExecutor,
+    ProgressEvent,
+    SerialExecutor,
+)
+from repro.exec.spec import CellSpec, WorkloadSpec, parsec_cell, synthetic_cell
+from repro.exec.store import ResultStore, default_cache_dir
+from repro.exec.worker import build_trace, execute_cell, execute_cell_payload
+
+__all__ = [
+    "CampaignEngine",
+    "CampaignReport",
+    "CellExecutionError",
+    "CellSpec",
+    "ParallelExecutor",
+    "ProgressEvent",
+    "ResultStore",
+    "SerialExecutor",
+    "WorkloadSpec",
+    "build_trace",
+    "default_cache_dir",
+    "execute_cell",
+    "execute_cell_payload",
+    "parsec_cell",
+    "run_cells",
+    "synthetic_cell",
+]

@@ -1,0 +1,113 @@
+"""The campaign engine: dedupe, cache lookup, execute misses, write back.
+
+The engine is the single entry point every campaign driver uses
+(:class:`~repro.core.experiment.ExperimentRunner`, the sensitivity sweeps,
+the load-latency harness, the CLI).  Given a list of cell specs it
+
+1. deduplicates them by content hash (a grid or bisection often asks for
+   the same cell twice),
+2. serves every cell it can from the :class:`~repro.exec.store.ResultStore`,
+3. hands only the misses to the executor,
+4. persists fresh results back to the store,
+
+and returns :class:`RunMetrics` aligned with the input specs.  The
+report's counters (``executed`` vs ``cache_hits``) make cache behavior
+testable: a repeated campaign must show zero executor submissions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.exec.executors import ProgressCallback, ProgressEvent, SerialExecutor, _emit
+from repro.exec.spec import CellSpec
+from repro.exec.store import ResultStore
+from repro.metrics.summary import RunMetrics
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one engine invocation."""
+
+    specs: list[CellSpec]
+    metrics: list[RunMetrics]
+    executed: int = 0  # cells handed to the executor
+    cache_hits: int = 0  # cells served from the result store
+    deduplicated: int = 0  # duplicate specs folded into one execution
+
+    def by_label(self) -> dict[str, RunMetrics]:
+        return {s.label: m for s, m in zip(self.specs, self.metrics)}
+
+
+@dataclass
+class CampaignEngine:
+    """Executor + optional store, reusable across campaign invocations."""
+
+    executor: object = field(default_factory=SerialExecutor)
+    store: ResultStore | None = None
+    progress: ProgressCallback | None = None
+    # Running totals across invocations (useful for sweeps that call run()
+    # once per point).
+    total_executed: int = 0
+    total_cache_hits: int = 0
+
+    def run(self, specs: Sequence[CellSpec]) -> CampaignReport:
+        specs = list(specs)
+        report = CampaignReport(specs=specs, metrics=[])
+
+        # Dedupe by content hash; first occurrence owns the execution.
+        order: list[str] = []
+        unique: dict[str, CellSpec] = {}
+        for spec in specs:
+            h = spec.content_hash()
+            order.append(h)
+            if h in unique:
+                report.deduplicated += 1
+            else:
+                unique[h] = spec
+
+        payloads: dict[str, dict] = {}
+        misses: list[tuple[str, CellSpec]] = []
+        for h, spec in unique.items():
+            cached = self.store.get(spec) if self.store is not None else None
+            if cached is not None:
+                payloads[h] = cached
+                report.cache_hits += 1
+                _emit(self.progress, ProgressEvent(
+                    "cached", spec, len(payloads), len(unique)
+                ))
+            else:
+                misses.append((h, spec))
+
+        if misses:
+            fresh = self.executor.run([s for _, s in misses], self.progress)
+            report.executed = len(misses)
+            for (h, spec), payload in zip(misses, fresh):
+                payloads[h] = payload
+                if self.store is not None:
+                    self.store.put(spec, payload)
+
+        self.total_executed += report.executed
+        self.total_cache_hits += report.cache_hits
+        # Round-trip through the artifact schema on every path (serial,
+        # parallel, cached), so results are representation-identical no
+        # matter how a cell was obtained.
+        decoded = {h: RunMetrics.from_dict(p["metrics"]) for h, p in payloads.items()}
+        report.metrics = [decoded[h] for h in order]
+        return report
+
+
+def run_cells(
+    specs: Sequence[CellSpec],
+    executor: object | None = None,
+    store: ResultStore | None = None,
+    progress: ProgressCallback | None = None,
+) -> list[RunMetrics]:
+    """One-shot convenience wrapper over :class:`CampaignEngine`."""
+    engine = CampaignEngine(
+        executor=executor if executor is not None else SerialExecutor(),
+        store=store,
+        progress=progress,
+    )
+    return engine.run(specs).metrics

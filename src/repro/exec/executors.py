@@ -1,0 +1,215 @@
+"""Executor layer: run cell specs serially or across worker processes.
+
+Both executors share one contract: ``run(specs, progress=None)`` returns a
+list of JSON-safe artifact payloads (``execute_cell_payload`` outputs)
+aligned with *specs*.  Cells are independent pure functions of their spec,
+so the executor choice can never change results — only wall-clock time.
+
+Failure policy: a cell that raises or crashes its worker is retried
+(``retries`` times, default once); a cell that still fails raises
+:class:`CellExecutionError`.  The parallel executor additionally enforces
+a per-cell wall-clock ``timeout_s``: an overdue cell is abandoned (its
+late result, if any, is discarded) and charged a failed attempt.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from collections.abc import Callable, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro.exec.spec import CellSpec
+from repro.exec.worker import execute_cell_payload
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One progress callback: a cell started, finished, retried or failed."""
+
+    kind: str  # "start" | "done" | "retry" | "failed" | "cached"
+    spec: CellSpec
+    completed: int  # cells finished so far (cache hits included)
+    total: int
+    seconds: float = 0.0  # cell runtime, for "done" events
+    error: str = ""  # failure description, for "retry"/"failed" events
+
+
+class CellExecutionError(RuntimeError):
+    """A cell kept failing after its retry budget was spent."""
+
+    def __init__(self, spec: CellSpec, cause: str):
+        super().__init__(f"cell {spec.label} failed: {cause}")
+        self.spec = spec
+        self.cause = cause
+
+
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+def _emit(progress: ProgressCallback | None, event: ProgressEvent) -> None:
+    if progress is not None:
+        progress(event)
+
+
+@dataclass
+class SerialExecutor:
+    """Runs cells one after another in the calling process."""
+
+    retries: int = 1
+
+    def run(
+        self,
+        specs: Sequence[CellSpec],
+        progress: ProgressCallback | None = None,
+        fn: Callable[[CellSpec], dict] = execute_cell_payload,
+    ) -> list[dict]:
+        results: list[dict] = []
+        total = len(specs)
+        for i, spec in enumerate(specs):
+            _emit(progress, ProgressEvent("start", spec, i, total))
+            last_error = ""
+            for attempt in range(self.retries + 1):
+                try:
+                    payload = fn(spec)
+                    break
+                except Exception as exc:  # noqa: BLE001 — retry any cell failure
+                    last_error = f"{type(exc).__name__}: {exc}"
+                    if attempt >= self.retries:
+                        _emit(progress, ProgressEvent(
+                            "failed", spec, i, total, error=last_error
+                        ))
+                        raise CellExecutionError(spec, last_error) from exc
+                    _emit(progress, ProgressEvent(
+                        "retry", spec, i, total, error=last_error
+                    ))
+            results.append(payload)
+            _emit(progress, ProgressEvent(
+                "done", spec, i + 1, total,
+                seconds=float(payload.get("runtime_seconds", 0.0)),
+            ))
+        return results
+
+
+class ParallelExecutor:
+    """Process-pool executor: ``--jobs N`` campaign cells at a time.
+
+    Workers import :func:`repro.exec.worker.execute_cell_payload` by
+    reference and receive only the (picklable) spec, so no simulator state
+    ever crosses process boundaries except the JSON-safe result payload.
+
+    A worker crash breaks the whole pool (every in-flight future raises
+    ``BrokenProcessPool``); the pool is rebuilt and each in-flight cell is
+    charged one failed attempt — the crasher exhausts its retry and
+    surfaces as :class:`CellExecutionError`, innocents get re-run.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        timeout_s: float | None = None,
+        retries: int = 1,
+    ):
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        self.timeout_s = timeout_s
+        self.retries = retries
+
+    def run(
+        self,
+        specs: Sequence[CellSpec],
+        progress: ProgressCallback | None = None,
+        fn: Callable[[CellSpec], dict] = execute_cell_payload,
+    ) -> list[dict]:
+        total = len(specs)
+        results: list[dict | None] = [None] * total
+        attempts = [0] * total
+        pending: deque[int] = deque(range(total))
+        inflight: dict = {}  # future -> (index, deadline or None)
+        abandoned: set = set()  # timed-out futures whose results we discard
+        completed = 0
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+
+        def fail(idx: int, cause: str) -> None:
+            if attempts[idx] <= self.retries:
+                _emit(progress, ProgressEvent(
+                    "retry", specs[idx], completed, total, error=cause
+                ))
+                pending.append(idx)
+            else:
+                _emit(progress, ProgressEvent(
+                    "failed", specs[idx], completed, total, error=cause
+                ))
+                raise CellExecutionError(specs[idx], cause)
+
+        try:
+            while pending or inflight:
+                while pending and len(inflight) < self.jobs:
+                    idx = pending.popleft()
+                    if attempts[idx] == 0:
+                        _emit(progress, ProgressEvent(
+                            "start", specs[idx], completed, total
+                        ))
+                    attempts[idx] += 1
+                    deadline = (
+                        None if self.timeout_s is None
+                        else time.monotonic() + self.timeout_s
+                    )
+                    inflight[pool.submit(fn, specs[idx])] = (idx, deadline)
+
+                wait_timeout = None
+                if self.timeout_s is not None:
+                    deadlines = [d for _, d in inflight.values() if d is not None]
+                    if deadlines:
+                        wait_timeout = max(0.0, min(deadlines) - time.monotonic())
+                done, _ = wait(
+                    set(inflight) | abandoned,
+                    timeout=wait_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+
+                broken = False
+                for fut in done:
+                    if fut in abandoned:
+                        abandoned.discard(fut)  # late result of a timed-out cell
+                        continue
+                    idx, _ = inflight.pop(fut)
+                    try:
+                        payload = fut.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        fail(idx, "worker process crashed")
+                    except Exception as exc:  # noqa: BLE001 — cell's own failure
+                        fail(idx, f"{type(exc).__name__}: {exc}")
+                    else:
+                        results[idx] = payload
+                        completed += 1
+                        _emit(progress, ProgressEvent(
+                            "done", specs[idx], completed, total,
+                            seconds=float(payload.get("runtime_seconds", 0.0)),
+                        ))
+
+                if broken:
+                    # The pool is unusable; every other in-flight cell is
+                    # doomed with it.  Charge each one attempt and rebuild.
+                    for fut, (idx, _) in list(inflight.items()):
+                        fail(idx, "worker pool broke while cell was in flight")
+                    inflight.clear()
+                    abandoned.clear()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = ProcessPoolExecutor(max_workers=self.jobs)
+                    continue
+
+                if self.timeout_s is not None:
+                    now = time.monotonic()
+                    for fut, (idx, deadline) in list(inflight.items()):
+                        if deadline is not None and now >= deadline:
+                            del inflight[fut]
+                            if not fut.cancel():
+                                abandoned.add(fut)  # running; discard later
+                            fail(idx, f"timed out after {self.timeout_s:.1f}s")
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return results  # type: ignore[return-value]  # every slot filled above

@@ -1,0 +1,93 @@
+"""Store layer: on-disk content-addressed cache of run artifacts.
+
+Each finished cell is persisted as one JSON artifact under
+``<cache_dir>/<hash[:2]>/<hash>.json`` where ``hash`` is the spec's
+content hash.  The artifact embeds the canonical spec next to the metrics,
+so a cache entry is self-describing and can be audited or post-processed
+(the figure renderers are pure functions over exactly this data).
+
+Reads are defensive: a missing, corrupted, schema-mismatched or
+spec-mismatched file is treated as a miss and the cell is re-simulated —
+a broken cache can cost time but never wrong results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.exec.spec import CellSpec
+
+#: Artifact schema; bump on incompatible layout changes.
+STORE_SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME``/``~/.cache``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "intellinoc-repro"
+
+
+class ResultStore:
+    """Content-addressed result cache (one JSON artifact per cell)."""
+
+    def __init__(self, cache_dir: str | Path | None = None):
+        self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+        # Fail fast on an unusable location (e.g. a path that is a file)
+        # rather than after the simulation work is already done.
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError) as exc:
+            raise ValueError(
+                f"result cache path {self.cache_dir} is not a directory"
+            ) from exc
+
+    def path_for(self, spec: CellSpec) -> Path:
+        h = spec.content_hash()
+        return self.cache_dir / h[:2] / f"{h}.json"
+
+    def get(self, spec: CellSpec) -> dict | None:
+        """The stored artifact payload for *spec*, or None on any defect."""
+        path = self.path_for(spec)
+        try:
+            artifact = json.loads(path.read_text())
+            if artifact.get("schema") != STORE_SCHEMA_VERSION:
+                return None
+            # Guard against corruption and (vanishingly unlikely) hash
+            # collisions: the embedded spec must match byte for byte.
+            if artifact.get("spec") != spec.canonical():
+                return None
+            payload = artifact["payload"]
+            payload["metrics"]  # key must exist
+            return payload
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, spec: CellSpec, payload: dict) -> Path:
+        """Atomically persist a finished cell's artifact."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        artifact = {
+            "schema": STORE_SCHEMA_VERSION,
+            "spec_hash": spec.content_hash(),
+            "spec": spec.canonical(),
+            "payload": payload,
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(artifact, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path

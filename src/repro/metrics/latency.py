@@ -19,6 +19,33 @@ class LatencySummary:
     count: int
 
     @classmethod
+    def empty(cls) -> "LatencySummary":
+        """Summary of a run that completed no packets (saturated network)."""
+        inf = float("inf")
+        return cls(mean=inf, median=inf, p95=inf, p99=inf, maximum=0, count=0)
+
+    def to_dict(self) -> dict:
+        return {
+            "mean": self.mean,
+            "median": self.median,
+            "p95": self.p95,
+            "p99": self.p99,
+            "maximum": self.maximum,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LatencySummary":
+        return cls(
+            mean=float(data["mean"]),
+            median=float(data["median"]),
+            p95=float(data["p95"]),
+            p99=float(data["p99"]),
+            maximum=int(data["maximum"]),
+            count=int(data["count"]),
+        )
+
+    @classmethod
     def from_samples(cls, latencies: list[int]) -> "LatencySummary":
         if not latencies:
             raise ValueError("no latency samples")

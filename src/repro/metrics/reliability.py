@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 
 @dataclass(frozen=True)
@@ -18,6 +18,23 @@ class ReliabilitySummary:
     mttf_seconds: float
     mean_aging_factor: float
     max_aging_factor: float
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReliabilitySummary":
+        return cls(
+            hop_retransmissions=int(data["hop_retransmissions"]),
+            e2e_retransmission_flits=int(data["e2e_retransmission_flits"]),
+            corrected_flits=int(data["corrected_flits"]),
+            silent_corruptions=int(data["silent_corruptions"]),
+            corrupted_packets_delivered=int(data["corrupted_packets_delivered"]),
+            flits_delivered=int(data["flits_delivered"]),
+            mttf_seconds=float(data["mttf_seconds"]),
+            mean_aging_factor=float(data["mean_aging_factor"]),
+            max_aging_factor=float(data["max_aging_factor"]),
+        )
 
     @property
     def total_retransmitted_flits(self) -> int:

@@ -30,6 +30,7 @@ class RunMetrics:
     mean_temperature_k: float = 0.0
     max_temperature_k: float = 0.0
     qtable_entries_max: int = 0
+    packets_injected: int = 0
 
     @property
     def total_power_w(self) -> float:
@@ -50,6 +51,54 @@ class RunMetrics:
     @property
     def energy_delay_product(self) -> float:
         return energy_delay_product(self.total_energy_j, self.execution_seconds)
+
+    # --- serialization (result-store schema) --------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe form, round-tripped exactly by :meth:`from_dict`.
+
+        Used both as the result-cache artifact schema and as the transport
+        between executor worker processes and the engine, so serial and
+        parallel campaigns yield byte-identical results.
+        """
+        return {
+            "technique": self.technique,
+            "workload": self.workload,
+            "execution_cycles": self.execution_cycles,
+            "packets_completed": self.packets_completed,
+            "packets_injected": self.packets_injected,
+            "latency": self.latency.to_dict(),
+            "static_power_w": self.static_power_w,
+            "dynamic_power_w": self.dynamic_power_w,
+            "total_energy_j": self.total_energy_j,
+            "reliability": self.reliability.to_dict(),
+            # JSON keys are strings; from_dict restores the int mode ids.
+            "mode_breakdown": {str(m): v for m, v in self.mode_breakdown.items()},
+            "mean_temperature_k": self.mean_temperature_k,
+            "max_temperature_k": self.max_temperature_k,
+            "qtable_entries_max": self.qtable_entries_max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunMetrics":
+        return cls(
+            technique=str(data["technique"]),
+            workload=str(data["workload"]),
+            execution_cycles=int(data["execution_cycles"]),
+            packets_completed=int(data["packets_completed"]),
+            packets_injected=int(data.get("packets_injected", 0)),
+            latency=LatencySummary.from_dict(data["latency"]),
+            static_power_w=float(data["static_power_w"]),
+            dynamic_power_w=float(data["dynamic_power_w"]),
+            total_energy_j=float(data["total_energy_j"]),
+            reliability=ReliabilitySummary.from_dict(data["reliability"]),
+            mode_breakdown={
+                int(m): float(v) for m, v in data.get("mode_breakdown", {}).items()
+            },
+            mean_temperature_k=float(data["mean_temperature_k"]),
+            max_temperature_k=float(data["max_temperature_k"]),
+            qtable_entries_max=int(data["qtable_entries_max"]),
+        )
 
     @classmethod
     def from_network(cls, network, workload_name: str | None = None) -> "RunMetrics":
@@ -80,7 +129,12 @@ class RunMetrics:
             workload=workload_name or network.trace.name,
             execution_cycles=cycles,
             packets_completed=stats.packets_completed,
-            latency=LatencySummary.from_samples(stats.latencies),
+            packets_injected=stats.packets_injected,
+            latency=(
+                LatencySummary.from_samples(stats.latencies)
+                if stats.latencies
+                else LatencySummary.empty()
+            ),
             static_power_w=static_w,
             dynamic_power_w=dynamic_w,
             total_energy_j=network.accountant.total_pj() * 1e-12,

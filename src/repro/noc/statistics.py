@@ -17,6 +17,40 @@ import numpy as np
 
 from repro.noc.routing import NUM_PORTS
 
+#: Per-run cap on retained latency samples.  Mean latency is always exact
+#: (tracked by running sum/count); percentiles are exact up to this many
+#: completed packets and reservoir-sampled beyond it, bounding a long
+#: campaign's memory at a few hundred KB per run instead of growing with
+#: packet count.
+LATENCY_RESERVOIR_SIZE = 65_536
+
+
+class ReservoirSample:
+    """Fixed-size uniform sample of a stream (Vitter's algorithm R).
+
+    Below ``capacity`` the sample IS the stream, in arrival order, so
+    small runs (all tests) see exact percentile behavior.  The replacement
+    draws use a private fixed-seed generator, keeping runs a pure function
+    of ``(config, trace, seed)``.
+    """
+
+    def __init__(self, capacity: int = LATENCY_RESERVOIR_SIZE):
+        if capacity < 1:
+            raise ValueError("reservoir needs capacity of at least one sample")
+        self.capacity = capacity
+        self.samples: list[int] = []
+        self.seen = 0
+        self._rng = np.random.default_rng(0x1E55E4)
+
+    def add(self, value: int) -> None:
+        self.seen += 1
+        if len(self.samples) < self.capacity:
+            self.samples.append(value)
+            return
+        slot = int(self._rng.integers(0, self.seen))
+        if slot < self.capacity:
+            self.samples[slot] = value
+
 
 @dataclass
 class RouterEpochCounters:
@@ -65,7 +99,7 @@ class NetworkStatistics:
         self.flits_delivered = 0  # flit-hops over links
         self.latency_sum = 0
         self.latency_count = 0
-        self.latencies: list[int] = []  # per-packet, for percentiles
+        self._latency_reservoir = ReservoirSample()  # per-packet, for percentiles
         self.hop_retransmissions = 0  # per-hop NACK replays (flits)
         self.e2e_retransmission_flits = 0  # flits re-injected end to end
         self.corrected_flits = 0
@@ -91,7 +125,7 @@ class NetworkStatistics:
         self.packets_completed += 1
         self.latency_sum += latency
         self.latency_count += 1
-        self.latencies.append(latency)
+        self._latency_reservoir.add(latency)
         self.last_completion_cycle = cycle
         # Eq. 1's Latency_i: the end-to-end latency of "the specific router
         # i" is attributed to every router the packet transited, so a slow
@@ -101,6 +135,12 @@ class NetworkStatistics:
             ctr = self.routers[rid]
             ctr.latency_sum += latency
             ctr.latency_count += 1
+
+    @property
+    def latencies(self) -> list[int]:
+        """Retained per-packet latency samples (exact list for runs under
+        the reservoir size, a uniform subsample beyond it)."""
+        return self._latency_reservoir.samples
 
     @property
     def average_latency(self) -> float:

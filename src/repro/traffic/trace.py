@@ -8,6 +8,7 @@ so campaigns can be archived and replayed.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
@@ -80,6 +81,20 @@ class Trace:
             ),
             name=f"{self.name}[{start}:{end}]",
         )
+
+    def fingerprint(self) -> str:
+        """Stable sha256 digest of the event stream (name excluded).
+
+        Two traces with identical packets hash identically, so archived
+        traces can be verified against the generator parameters that the
+        execution engine's cache keys encode.
+        """
+        h = hashlib.sha256()
+        for e in self.events:
+            h.update(
+                f"{e.cycle},{e.src},{e.dst},{e.size},{int(e.reply)};".encode()
+            )
+        return h.hexdigest()
 
     def save(self, path: str | Path) -> None:
         """Write JSON-lines: {"cycle":..,"src":..,"dst":..,"size":..}."""

@@ -73,3 +73,41 @@ class TestCommands:
         rc = main(["campaign", "--benchmarks", "swa", "--duration", "800",
                    "--figures", "pie-chart"])
         assert rc == 2
+
+
+class TestEngineOptions:
+    def test_campaign_engine_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert args.no_cache is False
+
+    def test_sweep_accepts_engine_options(self):
+        args = build_parser().parse_args(
+            ["sweep", "--knob", "gamma", "--values", "0.9",
+             "--jobs", "4", "--cache-dir", "/tmp/x", "--no-cache"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/x"
+        assert args.no_cache is True
+
+    def test_campaign_with_jobs_and_cache(self, tmp_path, capsys):
+        argv = ["campaign", "--benchmarks", "swa", "--duration", "800",
+                "--pretrain", "1000", "--figures", "latency", "--seed", "2",
+                "--jobs", "2", "--cache-dir", str(tmp_path / "cache")]
+        rc = main(argv)
+        first = capsys.readouterr().out
+        assert rc == 0
+        assert "Fig. 10" in first
+        # The repeat run is served from the cache and prints the same table.
+        rc = main(argv)
+        second = capsys.readouterr().out
+        assert rc == 0
+        assert first == second
+
+    def test_campaign_no_cache(self, capsys):
+        rc = main(["campaign", "--benchmarks", "swa", "--duration", "800",
+                   "--pretrain", "500", "--figures", "latency", "--seed", "2",
+                   "--no-cache"])
+        assert rc == 0
+        assert "Fig. 10" in capsys.readouterr().out

@@ -1,5 +1,7 @@
 """Tests for the campaign runner and sensitivity sweeps (small scale)."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.config import INTELLINOC, SECDED_BASELINE
@@ -65,6 +67,77 @@ class TestRunner:
     def test_mttf_figure_positive(self, tiny_runner):
         _, averages = tiny_runner.figure16_mttf()
         assert all(v > 0 for v in averages.values())
+
+
+class TestTraceCacheKey:
+    def test_trace_cache_distinguishes_geometry(self):
+        """Techniques with different mesh shapes must not share a trace."""
+        runner = ExperimentRunner(duration=1000, seed=2)
+        small = replace(
+            SECDED_BASELINE,
+            name="SECDED-4x4",
+            noc=replace(SECDED_BASELINE.noc, width=4, height=4),
+        )
+        big_trace = runner.trace_for("swa", SECDED_BASELINE)
+        small_trace = runner.trace_for("swa", small)
+        assert big_trace is not small_trace
+        assert all(e.src < 16 and e.dst < 16 for e in small_trace.events)
+        assert any(e.src >= 16 or e.dst >= 16 for e in big_trace.events)
+
+    def test_trace_cache_distinguishes_duration_and_seed(self):
+        a = ExperimentRunner(duration=1000, seed=2).trace_for(
+            "swa", SECDED_BASELINE
+        )
+        b = ExperimentRunner(duration=1500, seed=2).trace_for(
+            "swa", SECDED_BASELINE
+        )
+        c = ExperimentRunner(duration=1000, seed=3).trace_for(
+            "swa", SECDED_BASELINE
+        )
+        assert a.duration <= 1000 < b.duration or len(a) != len(b)
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_cell_spec_hash_includes_geometry(self):
+        runner = ExperimentRunner(duration=1000, seed=2)
+        small = replace(
+            SECDED_BASELINE,
+            noc=replace(SECDED_BASELINE.noc, width=4, height=4),
+        )
+        assert (
+            runner.spec_for(SECDED_BASELINE, "swa").content_hash()
+            != runner.spec_for(small, "swa").content_hash()
+        )
+
+
+class TestRunnerEngineModes:
+    def test_parallel_runner_matches_serial(self):
+        kwargs = dict(
+            duration=900,
+            seed=4,
+            benchmarks=["swa"],
+            techniques=[SECDED_BASELINE],
+        )
+        serial = ExperimentRunner(jobs=1, **kwargs).run_campaign()
+        parallel = ExperimentRunner(jobs=2, **kwargs).run_campaign()
+        assert serial == parallel
+
+    def test_cached_runner_reuses_results(self, tmp_path):
+        kwargs = dict(
+            duration=900,
+            seed=4,
+            benchmarks=["swa"],
+            techniques=[SECDED_BASELINE],
+            cache_dir=tmp_path / "cache",
+        )
+        first = ExperimentRunner(**kwargs)
+        first.run_campaign()
+        assert first.engine.total_executed == 1
+
+        second = ExperimentRunner(**kwargs)
+        results = second.run_campaign()
+        assert second.engine.total_executed == 0
+        assert second.engine.total_cache_hits == 1
+        assert results == {k: v for k, v in first.run_campaign().items()}
 
 
 class TestRunTechnique:

@@ -1,0 +1,101 @@
+"""Engine: serial/parallel equivalence, caching, dedup, corruption recovery."""
+
+import pytest
+
+from repro.config import FaultConfig, INTELLINOC, SECDED_BASELINE
+from repro.exec.engine import CampaignEngine, run_cells
+from repro.exec.executors import ParallelExecutor, SerialExecutor
+from repro.exec.spec import parsec_cell
+from repro.exec.store import ResultStore
+
+
+def campaign_specs():
+    """A small grid including an RL cell (pre-training included in the job)."""
+    return [
+        parsec_cell(SECDED_BASELINE, "swa", 800, seed=5),
+        parsec_cell(SECDED_BASELINE, "bod", 800, seed=5),
+        parsec_cell(INTELLINOC, "swa", 800, seed=5, pretrain_cycles=800),
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_metrics():
+    return run_cells(campaign_specs())
+
+
+class TestSerialParallelEquivalence:
+    def test_parallel_campaign_is_bit_identical(self, serial_metrics):
+        parallel = run_cells(campaign_specs(), executor=ParallelExecutor(jobs=2))
+        assert parallel == serial_metrics
+
+    def test_metrics_fields_fully_populated(self, serial_metrics):
+        for m in serial_metrics:
+            assert m.packets_completed > 0
+            assert m.packets_injected >= m.packets_completed
+            assert m.execution_cycles > 0
+            assert m.latency.count > 0
+
+
+class TestCaching:
+    def test_second_pass_makes_zero_executor_submissions(
+        self, tmp_path, serial_metrics
+    ):
+        store = ResultStore(tmp_path / "cache")
+        first = CampaignEngine(executor=SerialExecutor(), store=store).run(
+            campaign_specs()
+        )
+        assert first.executed == len(campaign_specs())
+        assert first.cache_hits == 0
+
+        second = CampaignEngine(executor=SerialExecutor(), store=store).run(
+            campaign_specs()
+        )
+        assert second.executed == 0
+        assert second.cache_hits == len(campaign_specs())
+        assert second.metrics == first.metrics == serial_metrics
+
+    def test_changed_fault_config_invalidates_cache(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        spec = parsec_cell(SECDED_BASELINE, "swa", 700, seed=6)
+        changed = parsec_cell(
+            SECDED_BASELINE, "swa", 700, seed=6,
+            faults=FaultConfig(base_bit_error_rate=1e-9),
+        )
+        CampaignEngine(executor=SerialExecutor(), store=store).run([spec])
+        report = CampaignEngine(executor=SerialExecutor(), store=store).run(
+            [changed]
+        )
+        assert report.executed == 1  # different content hash, not a hit
+        assert report.cache_hits == 0
+
+    def test_corrupted_cache_file_falls_back_to_simulation(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        spec = parsec_cell(SECDED_BASELINE, "swa", 700, seed=6)
+        first = CampaignEngine(executor=SerialExecutor(), store=store).run([spec])
+        store.path_for(spec).write_text('{"schema": "garbage"')
+
+        engine = CampaignEngine(executor=SerialExecutor(), store=store)
+        report = engine.run([spec])
+        assert report.executed == 1
+        assert report.metrics == first.metrics
+        # The artifact was rewritten and is healthy again.
+        assert store.get(spec) is not None
+
+    def test_cached_events_reported(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        spec = parsec_cell(SECDED_BASELINE, "swa", 700, seed=6)
+        CampaignEngine(executor=SerialExecutor(), store=store).run([spec])
+        events = []
+        CampaignEngine(
+            executor=SerialExecutor(), store=store, progress=events.append
+        ).run([spec])
+        assert [e.kind for e in events] == ["cached"]
+
+
+class TestDedup:
+    def test_duplicate_specs_execute_once(self):
+        spec = parsec_cell(SECDED_BASELINE, "swa", 700, seed=6)
+        report = CampaignEngine(executor=SerialExecutor()).run([spec, spec, spec])
+        assert report.executed == 1
+        assert report.deduplicated == 2
+        assert report.metrics[0] == report.metrics[1] == report.metrics[2]

@@ -1,0 +1,110 @@
+"""Executor layer: retries, crash recovery, timeouts, progress events."""
+
+import os
+import time
+
+import pytest
+
+from repro.config import SECDED_BASELINE
+from repro.exec.executors import (
+    CellExecutionError,
+    ParallelExecutor,
+    SerialExecutor,
+)
+from repro.exec.spec import parsec_cell
+
+
+def make_specs(n=3, duration=900):
+    return [
+        parsec_cell(SECDED_BASELINE, "swa", duration, seed=10 + i)
+        for i in range(n)
+    ]
+
+
+# Module-level so worker processes can unpickle them by reference.
+
+def _ok_cell(spec):
+    return {"runtime_seconds": 0.0, "metrics": {"seed": spec.seed}}
+
+
+def _crash_once_cell(spec):
+    """Hard-crash the worker on first sight of each spec (sentinel file)."""
+    sentinel = os.path.join(
+        os.environ["REPRO_TEST_SENTINEL_DIR"], spec.content_hash()
+    )
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as fh:
+            fh.write("crashed")
+        os._exit(17)
+    return _ok_cell(spec)
+
+
+def _slow_cell(spec):
+    time.sleep(3.0)
+    return _ok_cell(spec)
+
+
+class TestSerialExecutor:
+    def test_results_align_with_specs(self):
+        specs = make_specs()
+        results = SerialExecutor().run(specs, fn=_ok_cell)
+        assert [r["metrics"]["seed"] for r in results] == [10, 11, 12]
+
+    def test_retries_once_then_succeeds(self):
+        calls = []
+
+        def flaky(spec):
+            calls.append(spec)
+            if len(calls) == 1:
+                raise RuntimeError("transient")
+            return _ok_cell(spec)
+
+        specs = make_specs(1)
+        results = SerialExecutor().run(specs, fn=flaky)
+        assert len(calls) == 2
+        assert results[0]["metrics"]["seed"] == 10
+
+    def test_persistent_failure_raises(self):
+        def always_broken(spec):
+            raise RuntimeError("doomed")
+
+        with pytest.raises(CellExecutionError, match="doomed"):
+            SerialExecutor().run(make_specs(1), fn=always_broken)
+
+    def test_progress_event_sequence(self):
+        events = []
+        SerialExecutor().run(
+            make_specs(2), progress=events.append, fn=_ok_cell
+        )
+        assert [e.kind for e in events] == ["start", "done", "start", "done"]
+        assert events[-1].completed == 2
+        assert events[-1].total == 2
+
+
+class TestParallelExecutor:
+    def test_results_align_with_specs(self):
+        specs = make_specs(4)
+        results = ParallelExecutor(jobs=2).run(specs, fn=_ok_cell)
+        assert [r["metrics"]["seed"] for r in results] == [10, 11, 12, 13]
+
+    def test_worker_crash_is_retried_once(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_SENTINEL_DIR", str(tmp_path))
+        specs = make_specs(2)
+        results = ParallelExecutor(jobs=1).run(specs, fn=_crash_once_cell)
+        assert [r["metrics"]["seed"] for r in results] == [10, 11]
+        # Each cell crashed its worker exactly once before succeeding.
+        assert len(list(tmp_path.iterdir())) == 2
+
+    def test_timeout_fails_the_cell(self):
+        executor = ParallelExecutor(jobs=1, timeout_s=0.2, retries=0)
+        with pytest.raises(CellExecutionError, match="timed out"):
+            executor.run(make_specs(1), fn=_slow_cell)
+
+    def test_progress_reports_all_cells(self):
+        events = []
+        ParallelExecutor(jobs=2).run(
+            make_specs(3), progress=events.append, fn=_ok_cell
+        )
+        kinds = [e.kind for e in events]
+        assert kinds.count("start") == 3
+        assert kinds.count("done") == 3

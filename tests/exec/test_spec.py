@@ -1,0 +1,108 @@
+"""Job layer: canonicalization and content hashing of cell specs."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.config import (
+    FaultConfig,
+    INTELLINOC,
+    SECDED_BASELINE,
+    canonical_json,
+    fingerprint,
+)
+from repro.exec.spec import CellSpec, WorkloadSpec, parsec_cell, synthetic_cell
+
+
+def spec(**overrides) -> CellSpec:
+    base = dict(
+        technique=SECDED_BASELINE,
+        benchmark="swa",
+        duration=1000,
+        seed=3,
+        faults=FaultConfig(),
+        pretrain_cycles=0,
+    )
+    base.update(overrides)
+    return parsec_cell(**base)
+
+
+class TestFingerprint:
+    def test_equal_configs_equal_fingerprints(self):
+        assert fingerprint(FaultConfig()) == fingerprint(FaultConfig())
+        assert fingerprint(SECDED_BASELINE) == fingerprint(SECDED_BASELINE)
+
+    def test_any_field_changes_fingerprint(self):
+        base = fingerprint(FaultConfig())
+        assert fingerprint(FaultConfig(base_bit_error_rate=1e-9)) != base
+        assert fingerprint(FaultConfig(multi_bit_fraction=0.36)) != base
+
+    def test_canonical_json_is_deterministic_text(self):
+        a = canonical_json(INTELLINOC)
+        b = canonical_json(INTELLINOC)
+        assert a == b
+        json.loads(a)  # valid JSON
+
+    def test_rejects_unserializable_objects(self):
+        with pytest.raises(TypeError):
+            canonical_json(object())
+
+
+class TestCellSpecHash:
+    def test_stable_across_instances(self):
+        assert spec().content_hash() == spec().content_hash()
+
+    def test_canonical_json_round_trips(self):
+        decoded = json.loads(spec().canonical_json())
+        assert decoded["spec"]["workload"]["name"] == "swa"
+        assert decoded["spec"]["technique"]["name"] == "SECDED"
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            dict(seed=4),
+            dict(duration=1001),
+            dict(benchmark="bod"),
+            dict(technique=INTELLINOC),
+            dict(pretrain_cycles=500),
+            dict(faults=FaultConfig(base_bit_error_rate=1e-9)),
+        ],
+    )
+    def test_every_field_is_hashed(self, change):
+        assert spec(**change).content_hash() != spec().content_hash()
+
+    def test_geometry_is_hashed(self):
+        small = replace(
+            SECDED_BASELINE, noc=replace(SECDED_BASELINE.noc, width=4, height=4)
+        )
+        assert spec(technique=small).content_hash() != spec().content_hash()
+
+    def test_synthetic_spec_hashes_rate_and_pattern(self):
+        base = synthetic_cell(
+            SECDED_BASELINE, "uniform", 1000, injection_rate=0.01, packet_size=4
+        )
+        other_rate = synthetic_cell(
+            SECDED_BASELINE, "uniform", 1000, injection_rate=0.02, packet_size=4
+        )
+        other_pattern = synthetic_cell(
+            SECDED_BASELINE, "tornado", 1000, injection_rate=0.01, packet_size=4
+        )
+        assert base.content_hash() != other_rate.content_hash()
+        assert base.content_hash() != other_pattern.content_hash()
+
+    def test_specs_are_frozen_and_hashable(self):
+        s = spec()
+        with pytest.raises(Exception):
+            s.seed = 9
+        assert s in {s}
+
+
+class TestWorkloadSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(kind="netrace", name="swa", duration=100)
+
+    def test_rejects_empty_duration(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(kind="parsec", name="swa", duration=0)

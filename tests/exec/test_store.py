@@ -1,0 +1,119 @@
+"""Store layer: content-addressed artifacts and defensive reads."""
+
+import json
+
+import pytest
+
+from repro.config import FaultConfig, SECDED_BASELINE
+from repro.exec.spec import parsec_cell
+from repro.exec.store import STORE_SCHEMA_VERSION, ResultStore
+from repro.metrics.latency import LatencySummary
+from repro.metrics.reliability import ReliabilitySummary
+from repro.metrics.summary import RunMetrics
+
+
+def make_metrics(**overrides) -> RunMetrics:
+    base = dict(
+        technique="SECDED",
+        workload="swa",
+        execution_cycles=1234,
+        packets_completed=56,
+        packets_injected=58,
+        latency=LatencySummary(10.5, 10.0, 12.0, 13.5, 15, 56),
+        static_power_w=0.81,
+        dynamic_power_w=0.12,
+        total_energy_j=5.5e-7,
+        reliability=ReliabilitySummary(3, 4, 5, 0, 0, 9000, 3.1e7, 1.01, 1.05),
+        mode_breakdown={0: 0.25, 2: 0.75},
+        mean_temperature_k=330.0,
+        max_temperature_k=345.0,
+        qtable_entries_max=17,
+    )
+    base.update(overrides)
+    return RunMetrics(**base)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "cache")
+
+
+@pytest.fixture
+def spec():
+    return parsec_cell(SECDED_BASELINE, "swa", 1000, seed=3)
+
+
+class TestMetricsRoundTrip:
+    def test_every_field_survives(self):
+        m = make_metrics()
+        assert RunMetrics.from_dict(m.to_dict()) == m
+
+    def test_round_trip_through_json_text(self):
+        m = make_metrics()
+        assert RunMetrics.from_dict(json.loads(json.dumps(m.to_dict()))) == m
+
+    def test_mode_breakdown_keys_restored_as_ints(self):
+        m = make_metrics()
+        restored = RunMetrics.from_dict(json.loads(json.dumps(m.to_dict())))
+        assert restored.mode_breakdown == {0: 0.25, 2: 0.75}
+
+    def test_empty_latency_summary_round_trips(self):
+        m = make_metrics(latency=LatencySummary.empty())
+        restored = RunMetrics.from_dict(json.loads(json.dumps(m.to_dict())))
+        assert restored.latency.count == 0
+        assert restored.latency.mean == float("inf")
+
+
+class TestStore:
+    def test_miss_on_empty_store(self, store, spec):
+        assert store.get(spec) is None
+
+    def test_put_then_get(self, store, spec):
+        payload = {"metrics": make_metrics().to_dict(), "runtime_seconds": 1.5}
+        path = store.put(spec, payload)
+        assert path.exists()
+        assert store.get(spec) == payload
+
+    def test_artifact_embeds_spec_and_schema(self, store, spec):
+        store.put(spec, {"metrics": make_metrics().to_dict()})
+        artifact = json.loads(store.path_for(spec).read_text())
+        assert artifact["schema"] == STORE_SCHEMA_VERSION
+        assert artifact["spec_hash"] == spec.content_hash()
+        assert artifact["spec"] == spec.canonical()
+
+    def test_different_faults_are_different_entries(self, store, spec):
+        other = parsec_cell(
+            SECDED_BASELINE, "swa", 1000, seed=3,
+            faults=FaultConfig(base_bit_error_rate=1e-9),
+        )
+        store.put(spec, {"metrics": make_metrics().to_dict()})
+        assert store.get(other) is None
+
+    def test_corrupted_file_is_a_miss(self, store, spec):
+        store.put(spec, {"metrics": make_metrics().to_dict()})
+        store.path_for(spec).write_text("{not json at all")
+        assert store.get(spec) is None
+
+    def test_schema_mismatch_is_a_miss(self, store, spec):
+        store.put(spec, {"metrics": make_metrics().to_dict()})
+        path = store.path_for(spec)
+        artifact = json.loads(path.read_text())
+        artifact["schema"] = STORE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(artifact))
+        assert store.get(spec) is None
+
+    def test_spec_mismatch_is_a_miss(self, store, spec):
+        store.put(spec, {"metrics": make_metrics().to_dict()})
+        path = store.path_for(spec)
+        artifact = json.loads(path.read_text())
+        artifact["spec"]["spec"]["seed"] = 99  # tampered content
+        path.write_text(json.dumps(artifact))
+        assert store.get(spec) is None
+
+    def test_missing_payload_is_a_miss(self, store, spec):
+        store.put(spec, {"metrics": make_metrics().to_dict()})
+        path = store.path_for(spec)
+        artifact = json.loads(path.read_text())
+        del artifact["payload"]
+        path.write_text(json.dumps(artifact))
+        assert store.get(spec) is None

@@ -78,3 +78,51 @@ class TestNetworkStatistics:
 
     def test_empty_mode_breakdown(self):
         assert sum(NetworkStatistics(4).mode_breakdown().values()) == 0.0
+
+
+class TestReservoirSample:
+    def test_exact_below_capacity(self):
+        from repro.noc.statistics import ReservoirSample
+
+        r = ReservoirSample(capacity=100)
+        for v in range(50):
+            r.add(v)
+        assert r.samples == list(range(50))
+        assert r.seen == 50
+
+    def test_bounded_above_capacity(self):
+        from repro.noc.statistics import ReservoirSample
+
+        r = ReservoirSample(capacity=64)
+        for v in range(10_000):
+            r.add(v)
+        assert len(r.samples) == 64
+        assert r.seen == 10_000
+        assert all(0 <= v < 10_000 for v in r.samples)
+
+    def test_deterministic_across_instances(self):
+        from repro.noc.statistics import ReservoirSample
+
+        a, b = ReservoirSample(capacity=32), ReservoirSample(capacity=32)
+        for v in range(1_000):
+            a.add(v)
+            b.add(v)
+        assert a.samples == b.samples
+
+    def test_rejects_zero_capacity(self):
+        from repro.noc.statistics import ReservoirSample
+
+        with pytest.raises(ValueError):
+            ReservoirSample(capacity=0)
+
+    def test_network_statistics_latencies_are_bounded(self):
+        from repro.noc.statistics import LATENCY_RESERVOIR_SIZE
+
+        stats = NetworkStatistics(4)
+        stats._latency_reservoir.capacity = 16  # shrink for the test
+        for i in range(100):
+            stats.record_completion(10 + i, 0, cycle=i)
+        assert len(stats.latencies) == 16
+        assert stats.latency_count == 100
+        assert stats.average_latency == pytest.approx(10 + 99 / 2)
+        assert LATENCY_RESERVOIR_SIZE >= 10_000  # big enough for exact tests
