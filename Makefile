@@ -1,7 +1,14 @@
-.PHONY: install test bench figures examples clean
+.PHONY: install lint test bench figures examples clean
 
 install:
 	pip install -e . || python setup.py develop
+
+# NoCSan static pass (docs/analysis.md); mypy runs too when installed.
+lint:
+	PYTHONPATH=src python -m repro.analysis.lint src
+	@python -c "import mypy" 2>/dev/null \
+		&& python -m mypy --strict -p repro.exec -p repro.config -p repro.metrics \
+		|| echo "mypy not installed; skipped type check"
 
 test:
 	pytest tests/

@@ -16,6 +16,7 @@ Python.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.config import all_techniques, technique
@@ -31,6 +32,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--duration", type=int, default=6000, help="trace length in cycles"
     )
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="enable the NoCSan runtime invariant checks (see docs/analysis.md)",
+    )
+
+
+def _apply_sanitize(args: argparse.Namespace) -> None:
+    """Export ``--sanitize`` as REPRO_SANITIZE so every network this process
+    (and its campaign worker processes) builds picks up the sanitizer."""
+    if getattr(args, "sanitize", False):
+        os.environ["REPRO_SANITIZE"] = "1"
 
 
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
@@ -71,6 +83,7 @@ def _print_progress(event) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    _apply_sanitize(args)
     system = IntelliNoCSystem(args.technique, seed=args.seed)
     if args.pretrain and technique(args.technique).policy.value == "rl":
         print(f"pre-training RL agents for {args.pretrain} cycles ...")
@@ -102,6 +115,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    _apply_sanitize(args)
     runner = ExperimentRunner(
         duration=args.duration,
         seed=args.seed,
@@ -133,6 +147,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    _apply_sanitize(args)
     sweep = SensitivitySweep(
         duration=args.duration, seed=args.seed, **_engine_kwargs(args)
     )

@@ -15,6 +15,7 @@ import enum
 import hashlib
 import json
 from dataclasses import dataclass, field, fields, is_dataclass, replace
+from typing import Any
 
 
 # --- deterministic fingerprinting -------------------------------------------
@@ -25,7 +26,7 @@ from dataclasses import dataclass, field, fields, is_dataclass, replace
 # be *stable*: dict keys sorted, enums reduced to their values, tuples and
 # lists unified, floats serialized by repr (shortest round-trip).
 
-def canonical_value(obj):
+def canonical_value(obj: object) -> Any:
     """Reduce a config object to a canonical JSON-safe structure.
 
     Handles (recursively) dataclasses, enums, dicts, lists/tuples and JSON
@@ -47,14 +48,14 @@ def canonical_value(obj):
     raise TypeError(f"cannot canonicalize {type(obj).__name__}: {obj!r}")
 
 
-def canonical_json(obj) -> str:
+def canonical_json(obj: object) -> str:
     """Canonical JSON text of :func:`canonical_value` (sorted, compact)."""
     return json.dumps(
         canonical_value(obj), sort_keys=True, separators=(",", ":"), allow_nan=True
     )
 
 
-def fingerprint(obj) -> str:
+def fingerprint(obj: object) -> str:
     """Stable sha256 hex digest of an object's canonical JSON form."""
     return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
 
@@ -244,7 +245,7 @@ class TechniqueConfig:
     idle_gate_threshold: int = 24  # idle cycles before gating a router
     rl: RlConfig = field(default_factory=RlConfig)
 
-    def with_rl(self, **kwargs) -> "TechniqueConfig":
+    def with_rl(self, **kwargs: Any) -> "TechniqueConfig":
         """Return a copy with updated RL hyperparameters."""
         return replace(self, rl=replace(self.rl, **kwargs))
 

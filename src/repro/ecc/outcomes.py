@@ -87,7 +87,7 @@ class ErrorSampler:
         """Eq. 3: P(faulty flit) = 1 - (1 - Re)^n."""
         if not 0.0 <= bit_error_rate <= 1.0:
             raise ValueError("bit error rate must be a probability")
-        if bit_error_rate == 1.0:
+        if bit_error_rate == 1.0:  # noqa: NOC302 -- guards log1p(-1); exact user-provided bound, not accumulated
             return 1.0
         return -math.expm1(self.flit_bits * math.log1p(-bit_error_rate))
 

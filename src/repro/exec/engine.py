@@ -19,8 +19,16 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from typing import Any
 
-from repro.exec.executors import ProgressCallback, ProgressEvent, SerialExecutor, _emit
+from repro.exec.executors import (
+    CellExecutionError,
+    Executor,
+    ProgressCallback,
+    ProgressEvent,
+    SerialExecutor,
+    _emit,
+)
 from repro.exec.spec import CellSpec
 from repro.exec.store import ResultStore
 from repro.metrics.summary import RunMetrics
@@ -44,7 +52,7 @@ class CampaignReport:
 class CampaignEngine:
     """Executor + optional store, reusable across campaign invocations."""
 
-    executor: object = field(default_factory=SerialExecutor)
+    executor: Executor = field(default_factory=SerialExecutor)
     store: ResultStore | None = None
     progress: ProgressCallback | None = None
     # Running totals across invocations (useful for sweeps that call run()
@@ -67,7 +75,7 @@ class CampaignEngine:
             else:
                 unique[h] = spec
 
-        payloads: dict[str, dict] = {}
+        payloads: dict[str, dict[str, Any]] = {}
         misses: list[tuple[str, CellSpec]] = []
         for h, spec in unique.items():
             cached = self.store.get(spec) if self.store is not None else None
@@ -81,7 +89,14 @@ class CampaignEngine:
                 misses.append((h, spec))
 
         if misses:
-            fresh = self.executor.run([s for _, s in misses], self.progress)
+            try:
+                fresh = self.executor.run([s for _, s in misses], self.progress)
+            except CellExecutionError as exc:
+                # Persist the post-mortem (cause + full traceback) into the
+                # cell's failure artifact before surfacing the error.
+                if self.store is not None:
+                    self.store.put_failure(exc.spec, exc.cause, exc.traceback_text)
+                raise
             report.executed = len(misses)
             for (h, spec), payload in zip(misses, fresh):
                 payloads[h] = payload
@@ -100,7 +115,7 @@ class CampaignEngine:
 
 def run_cells(
     specs: Sequence[CellSpec],
-    executor: object | None = None,
+    executor: Executor | None = None,
     store: ResultStore | None = None,
     progress: ProgressCallback | None = None,
 ) -> list[RunMetrics]:

@@ -16,14 +16,38 @@ from __future__ import annotations
 
 import os
 import time
+import traceback
 from collections import deque
 from collections.abc import Callable, Sequence
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from typing import Any, Protocol
 
 from repro.exec.spec import CellSpec
 from repro.exec.worker import execute_cell_payload
+
+#: Exception classes treated as *cell* failures: charged against the retry
+#: budget and, once it is spent, surfaced as :class:`CellExecutionError`
+#: carrying the formatted traceback.  Anything outside this tuple (e.g. a
+#: ``NameError`` from a bug in the harness itself, or ``KeyboardInterrupt``)
+#: propagates immediately with its original traceback instead of being
+#: silently retried.
+CELL_FAILURE_TYPES = (
+    ArithmeticError,
+    LookupError,
+    MemoryError,
+    OSError,
+    RuntimeError,
+    TypeError,
+    ValueError,
+)
+
+
+def _format_traceback(exc: BaseException) -> str:
+    """Full traceback text, including chained causes — for a cell that
+    failed in a worker process this contains the remote traceback too."""
+    return "".join(traceback.format_exception(exc))
 
 
 @dataclass(frozen=True)
@@ -36,18 +60,30 @@ class ProgressEvent:
     total: int
     seconds: float = 0.0  # cell runtime, for "done" events
     error: str = ""  # failure description, for "retry"/"failed" events
+    traceback: str = ""  # full traceback text, for "retry"/"failed" events
 
 
 class CellExecutionError(RuntimeError):
     """A cell kept failing after its retry budget was spent."""
 
-    def __init__(self, spec: CellSpec, cause: str):
+    def __init__(self, spec: CellSpec, cause: str, traceback_text: str = ""):
         super().__init__(f"cell {spec.label} failed: {cause}")
         self.spec = spec
         self.cause = cause
+        self.traceback_text = traceback_text
 
 
 ProgressCallback = Callable[[ProgressEvent], None]
+
+
+class Executor(Protocol):
+    """Structural contract of both executors (what the engine relies on)."""
+
+    def run(
+        self,
+        specs: Sequence[CellSpec],
+        progress: ProgressCallback | None = None,
+    ) -> list[dict[str, Any]]: ...
 
 
 def _emit(progress: ProgressCallback | None, event: ProgressEvent) -> None:
@@ -65,9 +101,9 @@ class SerialExecutor:
         self,
         specs: Sequence[CellSpec],
         progress: ProgressCallback | None = None,
-        fn: Callable[[CellSpec], dict] = execute_cell_payload,
-    ) -> list[dict]:
-        results: list[dict] = []
+        fn: Callable[[CellSpec], dict[str, Any]] = execute_cell_payload,
+    ) -> list[dict[str, Any]]:
+        results: list[dict[str, Any]] = []
         total = len(specs)
         for i, spec in enumerate(specs):
             _emit(progress, ProgressEvent("start", spec, i, total))
@@ -76,15 +112,17 @@ class SerialExecutor:
                 try:
                     payload = fn(spec)
                     break
-                except Exception as exc:  # noqa: BLE001 — retry any cell failure
+                except CELL_FAILURE_TYPES as exc:
                     last_error = f"{type(exc).__name__}: {exc}"
+                    tb = _format_traceback(exc)
                     if attempt >= self.retries:
                         _emit(progress, ProgressEvent(
-                            "failed", spec, i, total, error=last_error
+                            "failed", spec, i, total, error=last_error,
+                            traceback=tb,
                         ))
-                        raise CellExecutionError(spec, last_error) from exc
+                        raise CellExecutionError(spec, last_error, tb) from exc
                     _emit(progress, ProgressEvent(
-                        "retry", spec, i, total, error=last_error
+                        "retry", spec, i, total, error=last_error, traceback=tb
                     ))
             results.append(payload)
             _emit(progress, ProgressEvent(
@@ -121,28 +159,32 @@ class ParallelExecutor:
         self,
         specs: Sequence[CellSpec],
         progress: ProgressCallback | None = None,
-        fn: Callable[[CellSpec], dict] = execute_cell_payload,
-    ) -> list[dict]:
+        fn: Callable[[CellSpec], dict[str, Any]] = execute_cell_payload,
+    ) -> list[dict[str, Any]]:
         total = len(specs)
-        results: list[dict | None] = [None] * total
+        results: list[dict[str, Any] | None] = [None] * total
         attempts = [0] * total
         pending: deque[int] = deque(range(total))
-        inflight: dict = {}  # future -> (index, deadline or None)
-        abandoned: set = set()  # timed-out futures whose results we discard
+        # future -> (index, deadline or None)
+        inflight: dict[Future[dict[str, Any]], tuple[int, float | None]] = {}
+        # timed-out futures whose results we discard
+        abandoned: set[Future[dict[str, Any]]] = set()
         completed = 0
         pool = ProcessPoolExecutor(max_workers=self.jobs)
 
-        def fail(idx: int, cause: str) -> None:
+        def fail(idx: int, cause: str, tb: str = "") -> None:
             if attempts[idx] <= self.retries:
                 _emit(progress, ProgressEvent(
-                    "retry", specs[idx], completed, total, error=cause
+                    "retry", specs[idx], completed, total, error=cause,
+                    traceback=tb,
                 ))
                 pending.append(idx)
             else:
                 _emit(progress, ProgressEvent(
-                    "failed", specs[idx], completed, total, error=cause
+                    "failed", specs[idx], completed, total, error=cause,
+                    traceback=tb,
                 ))
-                raise CellExecutionError(specs[idx], cause)
+                raise CellExecutionError(specs[idx], cause, tb)
 
         try:
             while pending or inflight:
@@ -181,8 +223,12 @@ class ParallelExecutor:
                     except BrokenProcessPool:
                         broken = True
                         fail(idx, "worker process crashed")
-                    except Exception as exc:  # noqa: BLE001 — cell's own failure
-                        fail(idx, f"{type(exc).__name__}: {exc}")
+                    except CELL_FAILURE_TYPES as exc:
+                        # The pickled exception's __cause__ chain carries the
+                        # worker-side traceback, so the formatted text names
+                        # the real failing simulator line, not fut.result().
+                        fail(idx, f"{type(exc).__name__}: {exc}",
+                             _format_traceback(exc))
                     else:
                         results[idx] = payload
                         completed += 1

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.config import (
     FaultConfig,
@@ -61,7 +62,7 @@ class CellSpec:
     pretrain_cycles: int = 0  # RL pre-training budget (0 = untrained agents)
     max_cycles: int | None = None  # simulation cap (None = duration-derived)
 
-    def canonical(self) -> dict:
+    def canonical(self) -> dict[str, Any]:
         """Canonical JSON-safe structure covering every outcome-relevant field."""
         return {
             "schema": SPEC_SCHEMA_VERSION,

@@ -17,6 +17,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
+from typing import Any
 
 from repro.exec.spec import CellSpec
 
@@ -52,11 +53,17 @@ class ResultStore:
         h = spec.content_hash()
         return self.cache_dir / h[:2] / f"{h}.json"
 
-    def get(self, spec: CellSpec) -> dict | None:
+    def failure_path_for(self, spec: CellSpec) -> Path:
+        h = spec.content_hash()
+        return self.cache_dir / h[:2] / f"{h}.failure.json"
+
+    def get(self, spec: CellSpec) -> dict[str, Any] | None:
         """The stored artifact payload for *spec*, or None on any defect."""
         path = self.path_for(spec)
         try:
             artifact = json.loads(path.read_text())
+            if not isinstance(artifact, dict):
+                return None
             if artifact.get("schema") != STORE_SCHEMA_VERSION:
                 return None
             # Guard against corruption and (vanishingly unlikely) hash
@@ -64,21 +71,45 @@ class ResultStore:
             if artifact.get("spec") != spec.canonical():
                 return None
             payload = artifact["payload"]
+            if not isinstance(payload, dict):
+                return None
             payload["metrics"]  # key must exist
             return payload
         except (OSError, ValueError, KeyError, TypeError):
             return None
 
-    def put(self, spec: CellSpec, payload: dict) -> Path:
+    def put(self, spec: CellSpec, payload: dict[str, Any]) -> Path:
         """Atomically persist a finished cell's artifact."""
         path = self.path_for(spec)
-        path.parent.mkdir(parents=True, exist_ok=True)
         artifact = {
             "schema": STORE_SCHEMA_VERSION,
             "spec_hash": spec.content_hash(),
             "spec": spec.canonical(),
             "payload": payload,
         }
+        return self._write_atomic(path, artifact)
+
+    def put_failure(self, spec: CellSpec, cause: str, traceback_text: str = "") -> Path:
+        """Persist a cell's failure (cause + full traceback) next to where
+        its result artifact would live, as ``<hash>.failure.json``.
+
+        Failure artifacts are diagnostics, not cache entries: ``get`` never
+        reads them and a later successful run leaves the record behind as
+        history, so a flaky cell's last crash stays auditable.
+        """
+        path = self.failure_path_for(spec)
+        artifact = {
+            "schema": STORE_SCHEMA_VERSION,
+            "kind": "failure",
+            "spec_hash": spec.content_hash(),
+            "spec": spec.canonical(),
+            "cause": cause,
+            "traceback": traceback_text,
+        }
+        return self._write_atomic(path, artifact)
+
+    def _write_atomic(self, path: Path, artifact: dict[str, Any]) -> Path:
+        path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:

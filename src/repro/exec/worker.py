@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import copy
 import time
+from typing import Any
 
 from repro.config import ControlPolicy, SimulationConfig, fingerprint
 from repro.exec.spec import CellSpec
@@ -54,7 +55,7 @@ def build_trace(spec: CellSpec) -> Trace:
     )
 
 
-def _policy_for(spec: CellSpec):
+def _policy_for(spec: CellSpec) -> object | None:
     """Deterministic pre-trained RL policy for the cell, or None."""
     if spec.technique.policy is not ControlPolicy.RL or spec.pretrain_cycles <= 0:
         return None
@@ -98,7 +99,7 @@ def execute_cell(spec: CellSpec) -> RunMetrics:
     return RunMetrics.from_network(network, workload_name=trace.name)
 
 
-def execute_cell_payload(spec: CellSpec) -> dict:
+def execute_cell_payload(spec: CellSpec) -> dict[str, Any]:
     """Executor entry point: run a cell, return the JSON-safe artifact body."""
     started = time.perf_counter()
     metrics = execute_cell(spec)

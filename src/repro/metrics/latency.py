@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -24,7 +25,7 @@ class LatencySummary:
         inf = float("inf")
         return cls(mean=inf, median=inf, p95=inf, p99=inf, maximum=0, count=0)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "mean": self.mean,
             "median": self.median,
@@ -35,7 +36,7 @@ class LatencySummary:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "LatencySummary":
+    def from_dict(cls, data: dict[str, Any]) -> "LatencySummary":
         return cls(
             mean=float(data["mean"]),
             median=float(data["median"]),

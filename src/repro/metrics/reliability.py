@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
+from typing import Any
 
 
 @dataclass(frozen=True)
@@ -19,11 +20,11 @@ class ReliabilitySummary:
     mean_aging_factor: float
     max_aging_factor: float
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return asdict(self)
 
     @classmethod
-    def from_dict(cls, data: dict) -> "ReliabilitySummary":
+    def from_dict(cls, data: dict[str, Any]) -> "ReliabilitySummary":
         return cls(
             hop_retransmissions=int(data["hop_retransmissions"]),
             e2e_retransmission_flits=int(data["e2e_retransmission_flits"]),

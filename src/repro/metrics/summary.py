@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.metrics.energy import energy_delay_product, energy_efficiency
 from repro.metrics.latency import LatencySummary
@@ -54,7 +55,7 @@ class RunMetrics:
 
     # --- serialization (result-store schema) --------------------------------
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-safe form, round-tripped exactly by :meth:`from_dict`.
 
         Used both as the result-cache artifact schema and as the transport
@@ -80,7 +81,7 @@ class RunMetrics:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "RunMetrics":
+    def from_dict(cls, data: dict[str, Any]) -> "RunMetrics":
         return cls(
             technique=str(data["technique"]),
             workload=str(data["workload"]),
@@ -101,7 +102,9 @@ class RunMetrics:
         )
 
     @classmethod
-    def from_network(cls, network, workload_name: str | None = None) -> "RunMetrics":
+    def from_network(
+        cls, network: Any, workload_name: str | None = None
+    ) -> "RunMetrics":
         """Summarize a finished simulation."""
         from repro.faults.mttf import MttfEstimator  # avoid import cycle
 

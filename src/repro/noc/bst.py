@@ -58,6 +58,11 @@ class BufferStateTable:
         """Number of in-flight packets traversing this router."""
         return len(self._entries)
 
+    def entries(self) -> dict[tuple[int, int], BstEntry]:
+        """The live (in_port, in_vc) -> entry mapping (read-only use: the
+        sanitizer audits it against the VC state; do not mutate)."""
+        return self._entries
+
     def _check(self, in_port: Direction, in_vc: int) -> None:
         if not 0 <= int(in_port) < NUM_PORTS:
             raise ValueError(f"bad port {in_port}")

@@ -56,7 +56,9 @@ class Network:
         trace: Trace,
         policy: "ModePolicy | None" = None,
         fault_injector: FaultInjector | None = None,
+        sanitizer: "object | None" = None,
     ):
+        from repro.analysis.sanitizer import NocSanitizer
         from repro.control.policies import make_policy
 
         self.config = config
@@ -65,9 +67,12 @@ class Network:
         self.topology = MeshTopology(noc.width, noc.height)
         self.trace = trace
         self.fault_injector = fault_injector
+        # NoCSan: read-only invariant checks, default-off (REPRO_SANITIZE=1
+        # or an explicitly passed sanitizer).  Never changes results.
+        self.sanitizer = sanitizer if sanitizer is not None else NocSanitizer.from_env()
 
         self.rngs = RngFactory(config.seed)
-        self.stats = NetworkStatistics(self.topology.num_routers)
+        self.stats = NetworkStatistics(self.topology.num_routers, seed=config.seed)
         self.accountant = EnergyAccountant(self.topology.num_routers, config.power)
         self.thermal = ThermalModel(noc, config.faults)
         self.aging = AgingModel(config.faults, self.topology.num_routers)
@@ -197,6 +202,8 @@ class Network:
         if self.policy.adapts and next_cycle % self.technique.rl.time_step == 0:
             self._control_step(next_cycle)
         self.cycle = next_cycle
+        if self.sanitizer is not None:
+            self.sanitizer.observe(self, next_cycle)
 
     # --- phase 0: workload ----------------------------------------------------------
 
@@ -360,7 +367,10 @@ class Network:
 
     def _inject(self, cycle: int) -> None:
         done: list[int] = []
-        for node in self._active_sources:
+        # Sorted for a stable order (NOC103); nodes inject into disjoint
+        # routers, so ordering cannot change the outcome — only determinism
+        # of any future shared state is at stake.
+        for node in sorted(self._active_sources):
             source = self.sources[node]
             if source.is_empty():
                 done.append(node)
@@ -407,6 +417,7 @@ class Network:
         packet = flit.packet
         self.accountant.add_dynamic(rid, self.power_model.ejection_check_energy_pj())
         packet.flits_ejected += 1
+        self.stats.flits_ejected_total += 1
         if flit.bit_errors:
             outcome = decode_outcome(EccScheme.CRC, flit.bit_errors)
             if outcome is DecodeOutcome.RETRANSMIT:

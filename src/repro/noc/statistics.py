@@ -25,22 +25,31 @@ from repro.noc.routing import NUM_PORTS
 LATENCY_RESERVOIR_SIZE = 65_536
 
 
+#: Domain tag separating the reservoir's private stream from every other
+#: stream derived from the same run seed.
+_RESERVOIR_STREAM_TAG = 0x1E55E4
+
+
 class ReservoirSample:
     """Fixed-size uniform sample of a stream (Vitter's algorithm R).
 
     Below ``capacity`` the sample IS the stream, in arrival order, so
     small runs (all tests) see exact percentile behavior.  The replacement
-    draws use a private fixed-seed generator, keeping runs a pure function
-    of ``(config, trace, seed)``.
+    draws use a private generator derived from the run *seed* (plus a
+    fixed domain tag), keeping runs a pure function of ``(config, trace,
+    seed)`` while staying identical between sanitizer-mode and normal-mode
+    campaigns that share a spec hash.
     """
 
-    def __init__(self, capacity: int = LATENCY_RESERVOIR_SIZE):
+    def __init__(self, capacity: int = LATENCY_RESERVOIR_SIZE, seed: int = 0):
         if capacity < 1:
             raise ValueError("reservoir needs capacity of at least one sample")
         self.capacity = capacity
         self.samples: list[int] = []
         self.seen = 0
-        self._rng = np.random.default_rng(0x1E55E4)
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence([int(seed), _RESERVOIR_STREAM_TAG])
+        )
 
     def add(self, value: int) -> None:
         self.seen += 1
@@ -89,7 +98,7 @@ class RouterEpochCounters:
 class NetworkStatistics:
     """Whole-run statistics plus per-router epoch counters."""
 
-    def __init__(self, num_routers: int):
+    def __init__(self, num_routers: int, seed: int = 0):
         self.num_routers = num_routers
         self.routers = [RouterEpochCounters() for _ in range(num_routers)]
 
@@ -97,9 +106,12 @@ class NetworkStatistics:
         self.packets_injected = 0
         self.packets_completed = 0
         self.flits_delivered = 0  # flit-hops over links
+        self.flits_ejected_total = 0  # flits that reached their destination NI
         self.latency_sum = 0
         self.latency_count = 0
-        self._latency_reservoir = ReservoirSample()  # per-packet, for percentiles
+        # Per-packet latencies for percentiles; replacement draws derive
+        # from the run seed so the sample is part of the spec-hash contract.
+        self._latency_reservoir = ReservoirSample(seed=seed)
         self.hop_retransmissions = 0  # per-hop NACK replays (flits)
         self.e2e_retransmission_flits = 0  # flits re-injected end to end
         self.corrected_flits = 0

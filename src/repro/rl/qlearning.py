@@ -93,6 +93,17 @@ class QTable:
         self.updates += 1
         return float(row[action])
 
+    def is_finite(self) -> bool:
+        """Whether every stored action value is a finite number.
+
+        A NaN/inf row means a reward or TD target blew up; the sanitizer
+        checks this because argmax over NaN silently degenerates.
+        """
+        for row in self._table.values():
+            if not np.isfinite(row).all():
+                return False
+        return True
+
     def __len__(self) -> int:
         return len(self._table)
 

@@ -23,6 +23,7 @@ class SourceQueue:
         self._current_flits: deque[Flit] = deque()
         self._current_packet: Packet | None = None
         self.packets_enqueued = 0
+        self.flits_popped = 0  # flits handed to the network (sanitizer ledger)
         # Input VC (at the local router) the in-flight packet's head claimed;
         # body flits must follow it.  Managed by the injection logic.
         self.current_vc: int | None = None
@@ -63,6 +64,7 @@ class SourceQueue:
         self._refill()
         if not self._current_flits:
             raise IndexError(f"node {self.node}: source queue is empty")
+        self.flits_popped += 1
         return self._current_flits.popleft()
 
     def current_packet(self) -> Packet | None:

@@ -81,7 +81,7 @@ PARSEC_BENCHMARKS = [k for k in PARSEC_PROFILES if k != "blackscholes"]
 
 def _phase_multipliers(profile: BenchmarkProfile, num_epochs: int) -> np.ndarray:
     """Per-epoch rate multipliers realizing the benchmark's phases."""
-    if profile.phase_count <= 1 or profile.phase_swing == 0.0:
+    if profile.phase_count <= 1 or profile.phase_swing == 0.0:  # noqa: NOC302 -- exact profile constant meaning "phases disabled"
         return np.ones(num_epochs)
     phase_of_epoch = (
         np.arange(num_epochs) * profile.phase_count // max(1, num_epochs)

@@ -1,0 +1,5 @@
+"""Lint fixture: suppression without a reason (NOC000)."""
+
+
+def sentinel(rate: float) -> bool:
+    return rate == 1.0  # noqa: NOC302

@@ -1,0 +1,4 @@
+"""Lint fixture: file that does not parse (NOC100)."""
+
+
+def broken(

@@ -1,0 +1,18 @@
+"""Lint fixture: ambient RNG calls (NOC101)."""
+
+import random
+
+import numpy as np
+
+
+def roll() -> float:
+    return random.random()
+
+
+def roll_np() -> float:
+    return float(np.random.rand())
+
+
+def seeded() -> np.random.Generator:
+    # Constructors are the legal way to obtain deterministic streams.
+    return np.random.default_rng(np.random.SeedSequence([1, 2]))

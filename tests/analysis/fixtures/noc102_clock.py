@@ -1,0 +1,22 @@
+"""Lint fixture: wall-clock/entropy sources (NOC102)."""
+
+import os
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def today() -> object:
+    return datetime.now()
+
+
+def nonce() -> bytes:
+    return os.urandom(8)
+
+
+def elapsed() -> float:
+    # Monotonic timers stay legal: diagnostics only, never simulated state.
+    return time.perf_counter()

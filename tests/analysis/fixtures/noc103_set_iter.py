@@ -1,0 +1,25 @@
+"""Lint fixture: iteration over unordered sets (NOC103)."""
+
+
+def literal() -> list[int]:
+    return [x for x in {3, 1, 2}]
+
+
+def local_variable() -> None:
+    pending = {4, 5, 6}
+    for item in pending:
+        print(item)
+
+
+class Tracker:
+    def __init__(self) -> None:
+        self.active: set[int] = set()
+
+    def drain(self) -> None:
+        for node in self.active:
+            print(node)
+
+    def drain_sorted(self) -> None:
+        # sorted() iteration is the sanctioned fix.
+        for node in sorted(self.active):
+            print(node)

@@ -1,0 +1,17 @@
+"""Lint fixture: mutable default arguments (NOC104)."""
+
+from collections import deque
+
+
+def append_to(item: int, bucket: list = []) -> list:
+    bucket.append(item)
+    return bucket
+
+
+def queue_up(item: int, q: deque = deque()) -> deque:
+    q.append(item)
+    return q
+
+
+def keyword_only(*, table: dict = {}) -> dict:
+    return table

@@ -1,0 +1,8 @@
+"""Lint fixture: bare except clause (NOC301)."""
+
+
+def swallow() -> int:
+    try:
+        return 1 // 0
+    except:
+        return 0

@@ -1,0 +1,14 @@
+"""Lint fixture: float equality comparisons (NOC302)."""
+
+
+def exact(energy: float) -> bool:
+    return energy == 0.5
+
+
+def negated(temp: float) -> bool:
+    return temp != -1.5
+
+
+def integer_ok(count: int) -> bool:
+    # Integer equality is exact and stays legal.
+    return count == 4

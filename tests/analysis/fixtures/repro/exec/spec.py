@@ -1,0 +1,17 @@
+"""Lint fixture: unfrozen cell-spec dataclass (NOC202).
+
+The ``repro/exec/spec.py`` path makes the linter treat this file as the
+module ``repro.exec.spec``, where every dataclass must be frozen.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MutableSpec:
+    seed: int = 1
+
+
+@dataclass(frozen=True)
+class FrozenSpec:
+    seed: int = 1

@@ -1,0 +1,13 @@
+"""Lint fixture: simulation package importing orchestration (NOC201).
+
+The ``repro/noc/`` path components make the linter treat this file as the
+module ``repro.noc.noc201_layering``, i.e. part of a simulation package.
+"""
+
+from repro.exec.spec import CellSpec  # banned: sim -> orchestration
+
+import repro.report  # also banned
+
+
+def touch() -> object:
+    return CellSpec

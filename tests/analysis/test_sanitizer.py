@@ -1,0 +1,220 @@
+"""Tests for the NoCSan runtime half (repro.analysis.sanitizer)."""
+
+import json
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitizer import InvariantViolation, NocSanitizer
+from repro.config import (
+    INTELLINOC,
+    SECDED_BASELINE,
+    FaultConfig,
+    NocConfig,
+    SimulationConfig,
+)
+from repro.noc.network import Network
+from repro.noc.power_gating import PowerState
+from repro.noc.routing import Direction
+from repro.noc.vc import VcState
+from repro.traffic.trace import Trace, TraceEvent
+
+NO_FAULTS = FaultConfig(base_bit_error_rate=0.0)
+MESH_2X2 = NocConfig(width=2, height=2)
+
+
+def small_network(events, sanitizer=None, technique=None, seed=7):
+    tech = replace(technique or SECDED_BASELINE, noc=MESH_2X2)
+    config = SimulationConfig(technique=tech, seed=seed, faults=NO_FAULTS)
+    return Network(config, Trace(list(events)), sanitizer=sanitizer)
+
+
+def make_sanitizer(tmp_path, interval=4, watchdog_cycles=64):
+    return NocSanitizer(
+        interval=interval, watchdog_cycles=watchdog_cycles,
+        snapshot_dir=tmp_path / "sanitizer",
+    )
+
+
+class TestCleanRuns:
+    def test_clean_run_has_zero_violations(self, tmp_path):
+        san = make_sanitizer(tmp_path, interval=1, watchdog_cycles=2000)
+        events = [TraceEvent(c, c % 4, (c + 1) % 4, 4) for c in range(0, 60, 5)]
+        net = small_network(events, sanitizer=san)
+        net.run_to_completion(4000)
+        assert net.stats.packets_completed == len(events)
+        assert san.checks_run > 50
+        assert san.violations_seen == 0
+        assert not (tmp_path / "sanitizer").exists()  # no snapshot dumped
+
+    def test_sanitized_run_matches_unsanitized(self, tmp_path):
+        events = [TraceEvent(c, c % 4, (c + 2) % 4, 4) for c in range(0, 40, 4)]
+        plain = small_network(events)
+        plain.run_to_completion(4000)
+        san = make_sanitizer(tmp_path, interval=1, watchdog_cycles=2000)
+        checked = small_network(events, sanitizer=san)
+        checked.run_to_completion(4000)
+        assert checked.cycle == plain.cycle
+        assert checked.stats.packets_completed == plain.stats.packets_completed
+        assert checked.stats.latency_sum == plain.stats.latency_sum
+        assert sorted(checked.stats.latencies) == sorted(plain.stats.latencies)
+
+    def test_intellinoc_qtables_stay_finite(self, tmp_path):
+        san = make_sanitizer(tmp_path, interval=8, watchdog_cycles=4000)
+        tech = replace(INTELLINOC, noc=replace(INTELLINOC.noc, width=2, height=2))
+        config = SimulationConfig(technique=tech, seed=3, faults=NO_FAULTS)
+        events = [TraceEvent(c, c % 4, (c + 1) % 4, 4) for c in range(0, 50, 5)]
+        net = Network(config, Trace(events), sanitizer=san)
+        net.run_to_completion(6000)
+        assert san.checks_run > 0
+        assert san.violations_seen == 0
+
+
+class TestDeadlockWatchdog:
+    def test_wedged_mesh_trips_watchdog_and_dumps_snapshot(self, tmp_path):
+        san = make_sanitizer(tmp_path, interval=4, watchdog_cycles=64)
+        net = small_network([TraceEvent(0, 0, 3, 4)], sanitizer=san)
+        # Wedge: claim every VC on router 0's LOCAL input port, so the
+        # queued packet can never win a VC and no flit ever progresses.
+        port = net.routers[0].input_ports[Direction.LOCAL]
+        for vci in range(len(port.vcs)):
+            port.claim(vci)
+        with pytest.raises(InvariantViolation) as exc_info:
+            net.run_to_completion(5000)
+        violation = exc_info.value
+        assert violation.check == "deadlock-watchdog"
+        assert san.violations_seen == 1
+        # The structured snapshot landed on disk and is auditable JSON.
+        assert violation.snapshot_path is not None
+        payload = json.loads(violation.snapshot_path.read_text())
+        assert payload["violation"]["check"] == "deadlock-watchdog"
+        assert payload["cycle"] == violation.cycle
+        assert len(payload["routers"]) == 4
+        assert payload["busy_sources"][0]["node"] == 0
+        assert payload["routers"][0]["ports"]["LOCAL"]["claimed"] == [0, 1, 2, 3]
+
+    def test_slow_but_live_network_does_not_trip(self, tmp_path):
+        san = make_sanitizer(tmp_path, interval=4, watchdog_cycles=64)
+        # Widely spaced packets: long quiet gaps, but no pending work while
+        # quiet, so the watchdog must not fire.
+        events = [TraceEvent(c, 0, 3, 4) for c in (0, 300, 600)]
+        net = small_network(events, sanitizer=san)
+        net.run_to_completion(4000)
+        assert net.stats.packets_completed == 3
+        assert san.violations_seen == 0
+
+
+class TestStateAudits:
+    def test_mutated_bst_entry_is_caught(self, tmp_path):
+        san = make_sanitizer(tmp_path)
+        net = small_network([], sanitizer=san)
+        # Corrupt the BST: record an entry claiming an out-of-range VC.
+        net.routers[0].bst.record(Direction.LOCAL, 0, Direction.NORTH, 9)
+        with pytest.raises(InvariantViolation) as exc_info:
+            san.observe(net, cycle=san.interval)
+        assert exc_info.value.check == "bst-consistency"
+        assert "out-of-range" in exc_info.value.detail
+
+    def test_active_vc_without_bst_entry_is_caught(self, tmp_path):
+        san = make_sanitizer(tmp_path)
+        net = small_network([], sanitizer=san)
+        vc = net.routers[1].input_ports[Direction.LOCAL].vcs[0]
+        vc.state = VcState.ACTIVE
+        vc.route = Direction.NORTH
+        vc.out_vc = 0
+        with pytest.raises(InvariantViolation) as exc_info:
+            san.observe(net, cycle=san.interval)
+        assert exc_info.value.check == "bst-consistency"
+        assert "no BST entry" in exc_info.value.detail
+
+    def test_flit_count_drift_is_caught(self, tmp_path):
+        san = make_sanitizer(tmp_path)
+        net = small_network([], sanitizer=san)
+        net.routers[2]._flit_count += 1  # bookkeeping no longer matches buffers
+        with pytest.raises(InvariantViolation) as exc_info:
+            san.observe(net, cycle=san.interval)
+        assert exc_info.value.check == "flit-conservation"
+
+    def test_source_ledger_leak_is_caught(self, tmp_path):
+        san = make_sanitizer(tmp_path)
+        net = small_network([], sanitizer=san)
+        net.sources[0].flits_popped += 2  # flits sourced that never existed
+        with pytest.raises(InvariantViolation) as exc_info:
+            san.observe(net, cycle=san.interval)
+        assert exc_info.value.check == "flit-conservation"
+        assert "leak of 2 flits" in exc_info.value.detail
+
+    def test_negative_reservation_is_caught(self, tmp_path):
+        san = make_sanitizer(tmp_path)
+        net = small_network([], sanitizer=san)
+        net.routers[0].input_ports[Direction.LOCAL].vcs[1].reserved = -1
+        with pytest.raises(InvariantViolation) as exc_info:
+            san.observe(net, cycle=san.interval)
+        assert exc_info.value.check == "credit-conservation"
+
+    def test_gated_router_with_buffered_flit_is_caught(self, tmp_path):
+        san = make_sanitizer(tmp_path)
+        net = small_network([TraceEvent(0, 0, 3, 4)], sanitizer=san)
+        net.run(2)  # inject a flit into router 0's LOCAL port
+        router = net.routers[0]
+        assert router._flit_count > 0
+        router.gating.state = PowerState.GATED  # force an illegal gate
+        with pytest.raises(InvariantViolation) as exc_info:
+            san.observe(net, cycle=san.interval)
+        assert exc_info.value.check == "gated-buffers"
+
+    def test_nan_qtable_is_caught(self, tmp_path):
+        san = make_sanitizer(tmp_path)
+        tech = replace(INTELLINOC, noc=replace(INTELLINOC.noc, width=2, height=2))
+        config = SimulationConfig(technique=tech, seed=3, faults=NO_FAULTS)
+        net = Network(config, Trace([]), sanitizer=san)
+        agent = net.policy.agents[0]
+        row = agent.qtable.q_values((0,) * 16)
+        row[0] = np.nan
+        with pytest.raises(InvariantViolation) as exc_info:
+            san.observe(net, cycle=san.interval)
+        assert exc_info.value.check == "qtable-finite"
+
+    def test_violation_dumps_snapshot_named_after_check(self, tmp_path):
+        san = make_sanitizer(tmp_path)
+        net = small_network([], sanitizer=san)
+        net.routers[0]._flit_count += 1
+        with pytest.raises(InvariantViolation) as exc_info:
+            san.observe(net, cycle=8)
+        path = exc_info.value.snapshot_path
+        assert path is not None and path.name == "flit-conservation-cycle8.json"
+
+
+class TestConfiguration:
+    def test_off_cycle_observe_is_a_noop(self, tmp_path):
+        san = make_sanitizer(tmp_path, interval=4)
+        net = small_network([], sanitizer=san)
+        net.routers[0]._flit_count += 1  # corrupt, but never observed
+        san.observe(net, cycle=3)  # not on the stride
+        assert san.checks_run == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            NocSanitizer(interval=0)
+        with pytest.raises(ValueError):
+            NocSanitizer(interval=100, watchdog_cycles=50)
+
+    def test_from_env_defaults_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert NocSanitizer.from_env() is None
+        net = small_network([])
+        assert net.sanitizer is None
+
+    def test_from_env_enables_and_configures(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        monkeypatch.setenv("REPRO_SANITIZE_INTERVAL", "16")
+        monkeypatch.setenv("REPRO_SANITIZE_WATCHDOG", "512")
+        monkeypatch.setenv("REPRO_SANITIZE_DIR", str(tmp_path / "snaps"))
+        san = NocSanitizer.from_env()
+        assert san is not None
+        assert san.interval == 16
+        assert san.watchdog_cycles == 512
+        assert san.snapshot_dir == tmp_path / "snaps"
+        net = small_network([])
+        assert net.sanitizer is not None  # network picked it up from env
