@@ -7,7 +7,7 @@ install:
 lint:
 	PYTHONPATH=src python -m repro.analysis.lint src
 	@python -c "import mypy" 2>/dev/null \
-		&& python -m mypy --strict -p repro.exec -p repro.config -p repro.metrics \
+		&& python -m mypy --strict -p repro.exec -p repro.config -p repro.metrics -p repro.telemetry \
 		|| echo "mypy not installed; skipped type check"
 
 test:

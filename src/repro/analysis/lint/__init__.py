@@ -69,9 +69,10 @@ _CLOCK_ENTROPY = frozenset(
     }
 )
 
-#: repro.<pkg> packages that model hardware: they must import neither the
+#: repro.<pkg> packages at simulation altitude — the hardware models plus
+#: the telemetry observers embedded in them: they must import neither the
 #: campaign engine nor the presentation layers.
-_SIM_PACKAGES = ("repro.noc", "repro.channels", "repro.rl")
+_SIM_PACKAGES = ("repro.noc", "repro.channels", "repro.rl", "repro.telemetry")
 _ORCHESTRATION_PACKAGES = ("repro.exec", "repro.cli", "repro.report")
 
 _MUTABLE_CONSTRUCTORS = frozenset(

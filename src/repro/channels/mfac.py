@@ -69,6 +69,7 @@ class Channel:
         "_cycle_of_budget",
         "flits_sent",
         "flits_retransmitted",
+        "function_switches",
         "held_flit_cycles",
         "capacity",
         "bandwidth",
@@ -113,6 +114,7 @@ class Channel:
         self._cycle_of_budget = -1
         self.flits_sent = 0
         self.flits_retransmitted = 0
+        self.function_switches = 0  # runtime reconfigurations of this MFAC
         self.held_flit_cycles = 0
         self._refresh_geometry()
 
@@ -170,6 +172,7 @@ class Channel:
             if function is not ChannelFunction.RETRANSMISSION:
                 self.copies.clear()
             self.function = function
+            self.function_switches += 1
             self._refresh_geometry()
 
     # --- sending -------------------------------------------------------------

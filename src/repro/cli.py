@@ -3,10 +3,18 @@
 Usage::
 
     python -m repro run --technique intellinoc --benchmark bod
+    python -m repro run --benchmark swa --trace run.jsonl --metrics-out run.prom
     python -m repro campaign --benchmarks swa bod can --duration 4000
     python -m repro sweep --knob epsilon --values 0 0.05 0.5
     python -m repro trace --benchmark vips --out vips.jsonl
     python -m repro area
+
+Output discipline: the *results* (metric tables, figure tables) go to
+stdout via ``print``; everything diagnostic — progress lines, pre-training
+notices, telemetry-artifact confirmations, errors — goes through the
+``repro`` :mod:`logging` logger to stderr.  ``--verbose`` raises the level
+to DEBUG, ``--quiet`` lowers it to WARNING; the default (INFO) preserves
+the classic one-line-per-cell progress stream.
 
 Everything the CLI prints comes from the same public API the examples
 use; it exists so a shell user can poke the reproduction without writing
@@ -16,15 +24,54 @@ Python.
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import sys
+from contextlib import nullcontext
 
 from repro.config import all_techniques, technique
 from repro.core.experiment import ExperimentRunner
 from repro.core.intellinoc import IntelliNoCSystem
 from repro.core.sweep import SensitivitySweep
+from repro.telemetry import (
+    CampaignTraceSink,
+    PhaseProfiler,
+    Telemetry,
+    chain_progress,
+)
 from repro.traffic.parsec import PARSEC_PROFILES, generate_parsec_trace
 from repro.utils.tables import format_table
+
+_LOG = logging.getLogger("repro")
+
+
+def _configure_logging(args: argparse.Namespace) -> None:
+    """Route diagnostics through the ``repro`` logger (stderr handler)."""
+    if getattr(args, "verbose", False):
+        level = logging.DEBUG
+    elif getattr(args, "quiet", False):
+        level = logging.WARNING
+    else:
+        level = logging.INFO
+    logger = logging.getLogger("repro")
+    if not logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+
+
+def _add_logging_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="debug-level diagnostics on stderr",
+    )
+    group.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="warnings and errors only (suppress progress lines)",
+    )
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -36,6 +83,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--sanitize", action="store_true",
         help="enable the NoCSan runtime invariant checks (see docs/analysis.md)",
     )
+    _add_logging_options(parser)
 
 
 def _apply_sanitize(args: argparse.Namespace) -> None:
@@ -59,36 +107,66 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="disable the on-disk result cache (always re-simulate)",
     )
+    parser.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="write a Chrome trace-event JSON phase profile to PATH",
+    )
+    parser.add_argument(
+        "--campaign-log", default=None, metavar="PATH",
+        help="append executor progress events to PATH as JSON lines",
+    )
 
 
-def _engine_kwargs(args: argparse.Namespace) -> dict:
+def _engine_kwargs(args: argparse.Namespace, sink=None) -> dict:
     return {
         "jobs": args.jobs,
         "cache_dir": None if args.no_cache else args.cache_dir,
         "use_cache": not args.no_cache,
-        "progress": _print_progress,
+        "progress": chain_progress(_print_progress, sink),
     }
 
 
 def _print_progress(event) -> None:
     """One stderr line per cell start/finish so long campaigns show life."""
     if event.kind == "done":
-        print(f"[{event.completed}/{event.total}] {event.spec.label} "
-              f"done in {event.seconds:.1f}s", file=sys.stderr)
+        duration = event.duration_s if event.duration_s else event.seconds
+        _LOG.info("[%d/%d] %s done in %.1fs",
+                  event.completed, event.total, event.spec.label, duration)
     elif event.kind == "cached":
-        print(f"[{event.completed}/{event.total}] {event.spec.label} "
-              "(cache hit)", file=sys.stderr)
+        _LOG.info("[%d/%d] %s (cache hit)",
+                  event.completed, event.total, event.spec.label)
     elif event.kind in ("retry", "failed"):
-        print(f"{event.spec.label} {event.kind}: {event.error}", file=sys.stderr)
+        _LOG.warning("%s %s: %s", event.spec.label, event.kind, event.error)
+
+
+def _write_profile(profiler: PhaseProfiler | None, path: str | None) -> None:
+    if profiler is None or path is None:
+        return
+    out = profiler.write_chrome_trace(path)
+    _LOG.info("wrote phase profile (%d spans) to %s", len(profiler.spans), out)
+    for name, count, total in profiler.summary():
+        _LOG.debug("phase %-24s %3dx %8.2fs", name, count, total)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     _apply_sanitize(args)
-    system = IntelliNoCSystem(args.technique, seed=args.seed)
+    telemetry = None
+    if args.trace or args.metrics_out:
+        telemetry = Telemetry(trace_stride=args.trace_stride)
+    profiler = PhaseProfiler() if args.profile else None
+
+    def phase(name: str, **kw):
+        return nullcontext() if profiler is None else profiler.phase(name, **kw)
+
+    system = IntelliNoCSystem(args.technique, seed=args.seed, telemetry=telemetry)
     if args.pretrain and technique(args.technique).policy.value == "rl":
-        print(f"pre-training RL agents for {args.pretrain} cycles ...")
-        system = system.with_pretrained_policy(duration=args.pretrain)
-    metrics = system.run_benchmark(args.benchmark, duration=args.duration)
+        _LOG.info("pre-training RL agents for %d cycles ...", args.pretrain)
+        with phase("pretrain", cycles=args.pretrain):
+            system = system.with_pretrained_policy(duration=args.pretrain)
+    with phase("trace.generate", benchmark=args.benchmark):
+        trace = system.make_trace(args.benchmark, args.duration)
+    with phase("simulate", benchmark=args.benchmark, duration=args.duration):
+        metrics = system.run_trace(trace)
     r = metrics.reliability
     rows = [
         ["execution cycles", metrics.execution_cycles],
@@ -111,68 +189,97 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("\nmode breakdown: " + ", ".join(
             f"{m}: {v:.0%}" for m, v in metrics.mode_breakdown.items()
         ))
+    if telemetry is not None and args.trace:
+        path = telemetry.write_trace(args.trace)
+        _LOG.info("wrote %d trace events to %s (stride %d, %d dropped)",
+                  len(telemetry.events), path, telemetry.trace_stride,
+                  telemetry.dropped_events)
+    if telemetry is not None and args.metrics_out:
+        path = telemetry.write_metrics(args.metrics_out)
+        _LOG.info("wrote %d instruments to %s", len(telemetry.instruments()), path)
+    _write_profile(profiler, args.profile)
     return 0
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     _apply_sanitize(args)
-    runner = ExperimentRunner(
-        duration=args.duration,
-        seed=args.seed,
-        benchmarks=args.benchmarks,
-        pretrain_cycles=args.pretrain,
-        **_engine_kwargs(args),
-    )
-    runner.run_campaign()
-    figures = {
-        "speedup": runner.figure9_speedup,
-        "latency": runner.figure10_latency,
-        "static": runner.figure11_static_power,
-        "dynamic": runner.figure12_dynamic_power,
-        "efficiency": runner.figure13_energy_efficiency,
-        "modes": runner.figure14_mode_breakdown,
-        "retx": runner.figure15_retransmissions,
-        "mttf": runner.figure16_mttf,
-    }
-    wanted = args.figures or list(figures)
-    for name in wanted:
-        if name not in figures:
-            print(f"unknown figure {name!r}; choose from {sorted(figures)}",
-                  file=sys.stderr)
-            return 2
-        table, _ = figures[name]()
-        print()
-        print(table)
+    profiler = PhaseProfiler() if args.profile else None
+    sink = CampaignTraceSink(args.campaign_log) if args.campaign_log else None
+    try:
+        runner = ExperimentRunner(
+            duration=args.duration,
+            seed=args.seed,
+            benchmarks=args.benchmarks,
+            pretrain_cycles=args.pretrain,
+            profiler=profiler,
+            **_engine_kwargs(args, sink),
+        )
+        runner.run_campaign()
+        figures = {
+            "speedup": runner.figure9_speedup,
+            "latency": runner.figure10_latency,
+            "static": runner.figure11_static_power,
+            "dynamic": runner.figure12_dynamic_power,
+            "efficiency": runner.figure13_energy_efficiency,
+            "modes": runner.figure14_mode_breakdown,
+            "retx": runner.figure15_retransmissions,
+            "mttf": runner.figure16_mttf,
+        }
+        wanted = args.figures or list(figures)
+        for name in wanted:
+            if name not in figures:
+                _LOG.error("unknown figure %r; choose from %s",
+                           name, sorted(figures))
+                return 2
+            table, _ = figures[name]()
+            print()
+            print(table)
+    finally:
+        if sink is not None:
+            sink.close()
+    if sink is not None:
+        _LOG.info("wrote %d campaign events to %s", sink.events_written, sink.path)
+    _write_profile(profiler, args.profile)
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     _apply_sanitize(args)
-    sweep = SensitivitySweep(
-        duration=args.duration, seed=args.seed, **_engine_kwargs(args)
-    )
-    dispatch = {
-        "time-step": (sweep.sweep_time_step, int),
-        "error-rate": (sweep.sweep_error_rate, float),
-        "gamma": (sweep.sweep_gamma, float),
-        "epsilon": (sweep.sweep_epsilon, float),
-    }
-    if args.knob not in dispatch:
-        print(f"unknown knob {args.knob!r}; choose from {sorted(dispatch)}",
-              file=sys.stderr)
-        return 2
-    fn, cast = dispatch[args.knob]
-    points = fn([cast(v) for v in args.values])
-    rows = [
-        [p.value, p.metrics.latency.mean, p.edp, p.retransmission_rate]
-        for p in points
-    ]
-    print(format_table(
-        [args.knob, "avg latency", "EDP (J*s)", "retx rate"],
-        rows,
-        title=f"Sensitivity sweep: {args.knob}",
-        float_fmt="{:.4g}",
-    ))
+    profiler = PhaseProfiler() if args.profile else None
+    sink = CampaignTraceSink(args.campaign_log) if args.campaign_log else None
+    try:
+        sweep = SensitivitySweep(
+            duration=args.duration, seed=args.seed, profiler=profiler,
+            **_engine_kwargs(args, sink),
+        )
+        dispatch = {
+            "time-step": (sweep.sweep_time_step, int),
+            "error-rate": (sweep.sweep_error_rate, float),
+            "gamma": (sweep.sweep_gamma, float),
+            "epsilon": (sweep.sweep_epsilon, float),
+        }
+        if args.knob not in dispatch:
+            _LOG.error("unknown knob %r; choose from %s",
+                       args.knob, sorted(dispatch))
+            return 2
+        fn, cast = dispatch[args.knob]
+        points = fn([cast(v) for v in args.values])
+        rows = [
+            [p.value, p.metrics.latency.mean, p.edp, p.retransmission_rate]
+            for p in points
+        ]
+        print(format_table(
+            [args.knob, "avg latency", "EDP (J*s)", "retx rate"],
+            rows,
+            title=f"Sensitivity sweep: {args.knob}",
+            float_fmt="{:.4g}",
+        ))
+    finally:
+        if sink is not None:
+            sink.close()
+    if sink is not None:
+        _LOG.info("wrote %d campaign events to %s", sink.events_written, sink.path)
+    _write_profile(profiler, args.profile)
     return 0
 
 
@@ -216,6 +323,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--benchmark", default="bod", choices=sorted(PARSEC_PROFILES))
     p.add_argument("--pretrain", type=int, default=0,
                    help="RL pre-training cycles (0 = untrained agents)")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write the in-simulation event trace to PATH (JSONL)")
+    p.add_argument("--trace-stride", type=int, default=1, metavar="N",
+                   help="sample high-frequency trace events every N cycles")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write a Prometheus-style metrics snapshot to PATH")
+    p.add_argument("--profile", default=None, metavar="PATH",
+                   help="write a Chrome trace-event JSON phase profile to PATH")
     _add_common(p)
     p.set_defaults(fn=_cmd_run)
 
@@ -244,6 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser("area", help="print the Table 2 area model")
+    _add_logging_options(p)
     p.set_defaults(fn=_cmd_area)
 
     return parser
@@ -251,10 +367,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    _configure_logging(args)
     try:
         return args.fn(args)
     except ValueError as exc:
-        print(f"repro: error: {exc}", file=sys.stderr)
+        _LOG.error("repro: error: %s", exc)
         return 2
 
 

@@ -30,6 +30,12 @@ from repro.exec.spec import CellSpec, parsec_cell
 from repro.exec.store import ResultStore
 from repro.metrics.summary import RunMetrics
 from repro.noc.network import Network
+from repro.telemetry import (
+    PhaseProfiler,
+    Telemetry,
+    cell_span_recorder,
+    chain_progress,
+)
 from repro.traffic.parsec import PARSEC_BENCHMARKS, generate_parsec_trace
 from repro.traffic.trace import Trace
 
@@ -50,21 +56,25 @@ def run_technique(
     faults: FaultConfig | None = None,
     policy: ModePolicy | None = None,
     max_cycles: int | None = None,
+    telemetry: Telemetry | None = None,
 ) -> RunMetrics:
     """Run one technique on one explicit trace to completion.
 
     The low-level escape hatch for callers that bring their own trace or
     policy (ablations); campaign work should go through specs and the
-    engine so it parallelizes and caches.
+    engine so it parallelizes and caches.  An enabled *telemetry* hub
+    observes the run (mode timeline, reward decomposition, instrument
+    snapshot) without changing its results.
     """
     config = SimulationConfig(
         technique=technique,
         seed=seed,
         faults=faults if faults is not None else FaultConfig(),
     )
-    network = Network(config, trace, policy=policy)
+    network = Network(config, trace, policy=policy, telemetry=telemetry)
     cap = max_cycles if max_cycles is not None else trace.duration * 4 + 50_000
     network.run_to_completion(cap)
+    network.finalize_telemetry()
     return RunMetrics.from_network(network, workload_name=trace.name)
 
 
@@ -89,6 +99,9 @@ class ExperimentRunner:
     use_cache: bool = False
     timeout_s: float | None = None
     progress: ProgressCallback | None = None
+    # Optional phase profiler: engine runs become "engine.run" phases and
+    # every finished cell a span, exportable as Chrome trace-event JSON.
+    profiler: PhaseProfiler | None = None
     _cache: dict[tuple[str, str], RunMetrics] = field(default_factory=dict, repr=False)
     _trace_cache: dict[tuple, Trace] = field(default_factory=dict, repr=False)
     _engine: CampaignEngine | None = field(default=None, repr=False)
@@ -109,10 +122,24 @@ class ExperimentRunner:
                 if (self.use_cache or self.cache_dir is not None)
                 else None
             )
+            spans = (
+                cell_span_recorder(self.profiler)
+                if self.profiler is not None
+                else None
+            )
             self._engine = CampaignEngine(
-                executor=executor, store=store, progress=self.progress
+                executor=executor,
+                store=store,
+                progress=chain_progress(self.progress, spans),
             )
         return self._engine
+
+    def _run_specs(self, specs: list[CellSpec]):
+        """Run *specs* through the engine, profiled when a profiler is set."""
+        if self.profiler is None:
+            return self.engine.run(specs)
+        with self.profiler.phase("engine.run", cells=len(specs)):
+            return self.engine.run(specs)
 
     def spec_for(self, technique: TechniqueConfig, benchmark: str) -> CellSpec:
         """The content-addressed job description of one campaign cell."""
@@ -154,7 +181,7 @@ class ExperimentRunner:
     def run_cell(self, technique: TechniqueConfig, benchmark: str) -> RunMetrics:
         key = (technique.name, benchmark)
         if key not in self._cache:
-            report = self.engine.run([self.spec_for(technique, benchmark)])
+            report = self._run_specs([self.spec_for(technique, benchmark)])
             self._cache[key] = report.metrics[0]
         return self._cache[key]
 
@@ -168,7 +195,7 @@ class ExperimentRunner:
         ]
         if missing:
             specs = [self.spec_for(t, b) for t, b in missing]
-            report = self.engine.run(specs)
+            report = self._run_specs(specs)
             for (technique, benchmark), metrics in zip(missing, report.metrics):
                 self._cache[(technique.name, benchmark)] = metrics
         return dict(self._cache)

@@ -29,6 +29,7 @@ from repro.faults.injection import FaultInjector
 from repro.metrics.summary import RunMetrics
 from repro.noc.network import Network
 from repro.rl.qlearning import QTable
+from repro.telemetry import Telemetry
 from repro.traffic.parsec import PARSEC_PROFILES, generate_parsec_trace
 from repro.traffic.trace import Trace, TraceEvent
 from repro.utils.rng import RngFactory
@@ -131,6 +132,7 @@ class IntelliNoCSystem:
         power: PowerConfig | None = None,
         policy: ModePolicy | None = None,
         fault_injector: FaultInjector | None = None,
+        telemetry: Telemetry | None = None,
     ):
         self.technique = (
             technique_by_name(technique) if isinstance(technique, str) else technique
@@ -140,6 +142,7 @@ class IntelliNoCSystem:
         self.power = power if power is not None else PowerConfig()
         self.policy = policy
         self.fault_injector = fault_injector
+        self.telemetry = telemetry
         self.last_network: Network | None = None
 
     def _config(self) -> SimulationConfig:
@@ -157,6 +160,7 @@ class IntelliNoCSystem:
             trace,
             policy=self.policy,
             fault_injector=self.fault_injector,
+            telemetry=self.telemetry,
         )
 
     def make_trace(self, benchmark: str, duration: int) -> Trace:
@@ -175,6 +179,7 @@ class IntelliNoCSystem:
         network = self.build_network(trace)
         cap = max_cycles if max_cycles is not None else trace.duration * 4 + 50_000
         network.run_to_completion(cap)
+        network.finalize_telemetry()
         self.last_network = network
         return RunMetrics.from_network(network, workload_name=trace.name)
 
@@ -196,6 +201,7 @@ class IntelliNoCSystem:
             power=self.power,
             policy=policy,
             fault_injector=self.fault_injector,
+            telemetry=self.telemetry,
         )
         return clone
 
@@ -208,4 +214,5 @@ class IntelliNoCSystem:
             power=self.power,
             policy=self.policy,
             fault_injector=self.fault_injector,
+            telemetry=self.telemetry,
         )

@@ -19,6 +19,7 @@ from repro.exec.executors import ParallelExecutor, ProgressCallback, SerialExecu
 from repro.exec.spec import CellSpec, parsec_cell
 from repro.exec.store import ResultStore
 from repro.metrics.summary import RunMetrics
+from repro.telemetry import PhaseProfiler, cell_span_recorder, chain_progress
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,7 @@ class SensitivitySweep:
     cache_dir: str | Path | None = None
     use_cache: bool = False
     progress: ProgressCallback | None = None
+    profiler: PhaseProfiler | None = None
     _engine: CampaignEngine | None = field(default=None, repr=False)
 
     @property
@@ -65,8 +67,15 @@ class SensitivitySweep:
                 if (self.use_cache or self.cache_dir is not None)
                 else None
             )
+            spans = (
+                cell_span_recorder(self.profiler)
+                if self.profiler is not None
+                else None
+            )
             self._engine = CampaignEngine(
-                executor=executor, store=store, progress=self.progress
+                executor=executor,
+                store=store,
+                progress=chain_progress(self.progress, spans),
             )
         return self._engine
 
@@ -82,7 +91,11 @@ class SensitivitySweep:
     def _run_points(
         self, values: list[float], specs: list[CellSpec]
     ) -> list[SweepPoint]:
-        metrics = self.engine.run(specs).metrics
+        if self.profiler is None:
+            metrics = self.engine.run(specs).metrics
+        else:
+            with self.profiler.phase("sweep.run", points=len(specs)):
+                metrics = self.engine.run(specs).metrics
         return [SweepPoint(v, m) for v, m in zip(values, metrics)]
 
     def sweep_time_step(self, steps: list[int]) -> list[SweepPoint]:

@@ -13,16 +13,26 @@ whatever circuitry is currently powered, which feed the power model.
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 from repro.config import EccScheme, PowerConfig
 
 
 class AdaptiveEccUnit:
     """Runtime ECC configuration of one router's ports."""
 
-    def __init__(self, power: PowerConfig, initial: EccScheme = EccScheme.SECDED):
+    def __init__(
+        self,
+        power: PowerConfig,
+        initial: EccScheme = EccScheme.SECDED,
+        on_transition: Callable[[EccScheme, EccScheme], None] | None = None,
+    ):
         self._power = power
         self._scheme = initial
         self.transitions = 0  # number of runtime reconfigurations
+        # Observation hook invoked as on_transition(old, new) after each
+        # actual reconfiguration (telemetry attaches here; must not mutate).
+        self.on_transition = on_transition
 
     @property
     def scheme(self) -> EccScheme:
@@ -34,8 +44,11 @@ class AdaptiveEccUnit:
         if scheme is EccScheme.NONE:
             raise ValueError("the adaptive unit always retains at least CRC")
         if scheme is not self._scheme:
+            old = self._scheme
             self.transitions += 1
             self._scheme = scheme
+            if self.on_transition is not None:
+                self.on_transition(old, scheme)
 
     def codec_energy_pj(self) -> float:
         """Dynamic encode+decode energy for one flit hop under the current scheme."""

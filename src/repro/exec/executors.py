@@ -61,6 +61,11 @@ class ProgressEvent:
     seconds: float = 0.0  # cell runtime, for "done" events
     error: str = ""  # failure description, for "retry"/"failed" events
     traceback: str = ""  # full traceback text, for "retry"/"failed" events
+    # Monotonic wall-clock seconds from the attempt's dispatch to this
+    # event, as observed by the executor ("done"/"retry"/"failed" events).
+    # Unlike ``seconds`` (the worker's self-reported payload runtime) this
+    # includes dispatch/pickling overhead and is present for failures.
+    duration_s: float = 0.0
 
 
 class CellExecutionError(RuntimeError):
@@ -109,25 +114,29 @@ class SerialExecutor:
             _emit(progress, ProgressEvent("start", spec, i, total))
             last_error = ""
             for attempt in range(self.retries + 1):
+                began = time.monotonic()
                 try:
                     payload = fn(spec)
                     break
                 except CELL_FAILURE_TYPES as exc:
+                    elapsed = time.monotonic() - began
                     last_error = f"{type(exc).__name__}: {exc}"
                     tb = _format_traceback(exc)
                     if attempt >= self.retries:
                         _emit(progress, ProgressEvent(
                             "failed", spec, i, total, error=last_error,
-                            traceback=tb,
+                            traceback=tb, duration_s=elapsed,
                         ))
                         raise CellExecutionError(spec, last_error, tb) from exc
                     _emit(progress, ProgressEvent(
-                        "retry", spec, i, total, error=last_error, traceback=tb
+                        "retry", spec, i, total, error=last_error, traceback=tb,
+                        duration_s=elapsed,
                     ))
             results.append(payload)
             _emit(progress, ProgressEvent(
                 "done", spec, i + 1, total,
                 seconds=float(payload.get("runtime_seconds", 0.0)),
+                duration_s=time.monotonic() - began,
             ))
         return results
 
@@ -165,24 +174,24 @@ class ParallelExecutor:
         results: list[dict[str, Any] | None] = [None] * total
         attempts = [0] * total
         pending: deque[int] = deque(range(total))
-        # future -> (index, deadline or None)
-        inflight: dict[Future[dict[str, Any]], tuple[int, float | None]] = {}
+        # future -> (index, deadline or None, monotonic submit time)
+        inflight: dict[Future[dict[str, Any]], tuple[int, float | None, float]] = {}
         # timed-out futures whose results we discard
         abandoned: set[Future[dict[str, Any]]] = set()
         completed = 0
         pool = ProcessPoolExecutor(max_workers=self.jobs)
 
-        def fail(idx: int, cause: str, tb: str = "") -> None:
+        def fail(idx: int, cause: str, tb: str = "", duration_s: float = 0.0) -> None:
             if attempts[idx] <= self.retries:
                 _emit(progress, ProgressEvent(
                     "retry", specs[idx], completed, total, error=cause,
-                    traceback=tb,
+                    traceback=tb, duration_s=duration_s,
                 ))
                 pending.append(idx)
             else:
                 _emit(progress, ProgressEvent(
                     "failed", specs[idx], completed, total, error=cause,
-                    traceback=tb,
+                    traceback=tb, duration_s=duration_s,
                 ))
                 raise CellExecutionError(specs[idx], cause, tb)
 
@@ -195,15 +204,16 @@ class ParallelExecutor:
                             "start", specs[idx], completed, total
                         ))
                     attempts[idx] += 1
+                    submitted = time.monotonic()
                     deadline = (
                         None if self.timeout_s is None
-                        else time.monotonic() + self.timeout_s
+                        else submitted + self.timeout_s
                     )
-                    inflight[pool.submit(fn, specs[idx])] = (idx, deadline)
+                    inflight[pool.submit(fn, specs[idx])] = (idx, deadline, submitted)
 
                 wait_timeout = None
                 if self.timeout_s is not None:
-                    deadlines = [d for _, d in inflight.values() if d is not None]
+                    deadlines = [d for _, d, _ in inflight.values() if d is not None]
                     if deadlines:
                         wait_timeout = max(0.0, min(deadlines) - time.monotonic())
                 done, _ = wait(
@@ -217,31 +227,35 @@ class ParallelExecutor:
                     if fut in abandoned:
                         abandoned.discard(fut)  # late result of a timed-out cell
                         continue
-                    idx, _ = inflight.pop(fut)
+                    idx, _, submitted = inflight.pop(fut)
+                    elapsed = time.monotonic() - submitted
                     try:
                         payload = fut.result()
                     except BrokenProcessPool:
                         broken = True
-                        fail(idx, "worker process crashed")
+                        fail(idx, "worker process crashed", duration_s=elapsed)
                     except CELL_FAILURE_TYPES as exc:
                         # The pickled exception's __cause__ chain carries the
                         # worker-side traceback, so the formatted text names
                         # the real failing simulator line, not fut.result().
                         fail(idx, f"{type(exc).__name__}: {exc}",
-                             _format_traceback(exc))
+                             _format_traceback(exc), duration_s=elapsed)
                     else:
                         results[idx] = payload
                         completed += 1
                         _emit(progress, ProgressEvent(
                             "done", specs[idx], completed, total,
                             seconds=float(payload.get("runtime_seconds", 0.0)),
+                            duration_s=elapsed,
                         ))
 
                 if broken:
                     # The pool is unusable; every other in-flight cell is
                     # doomed with it.  Charge each one attempt and rebuild.
-                    for fut, (idx, _) in list(inflight.items()):
-                        fail(idx, "worker pool broke while cell was in flight")
+                    now = time.monotonic()
+                    for fut, (idx, _, submitted) in list(inflight.items()):
+                        fail(idx, "worker pool broke while cell was in flight",
+                             duration_s=now - submitted)
                     inflight.clear()
                     abandoned.clear()
                     pool.shutdown(wait=False, cancel_futures=True)
@@ -250,12 +264,13 @@ class ParallelExecutor:
 
                 if self.timeout_s is not None:
                     now = time.monotonic()
-                    for fut, (idx, deadline) in list(inflight.items()):
+                    for fut, (idx, deadline, submitted) in list(inflight.items()):
                         if deadline is not None and now >= deadline:
                             del inflight[fut]
                             if not fut.cancel():
                                 abandoned.add(fut)  # running; discard later
-                            fail(idx, f"timed out after {self.timeout_s:.1f}s")
+                            fail(idx, f"timed out after {self.timeout_s:.1f}s",
+                                 duration_s=now - submitted)
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
         return results  # type: ignore[return-value]  # every slot filled above

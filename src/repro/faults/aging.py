@@ -131,6 +131,10 @@ class AgingModel:
     def max_aging(self) -> float:
         return max(self.aging_factor(i) for i in range(len(self.states)))
 
+    def max_delta_vth(self) -> float:
+        """Largest accumulated threshold shift across routers, in volts."""
+        return max(self.delta_vth(i) for i in range(len(self.states)))
+
     def mean_aging(self) -> float:
         return sum(self.aging_factor(i) for i in range(len(self.states))) / len(
             self.states

@@ -26,6 +26,9 @@ class ThermalModel:
         self.temperatures = np.full(
             noc.num_routers, config.ambient_temperature, dtype=float
         )
+        # Highest temperature any node has reached since construction
+        # (kelvin) — a telemetry observable, never read by the dynamics.
+        self.peak_temperature_k = float(config.ambient_temperature)
         self._neighbors: list[list[int]] = [
             self._mesh_neighbors(i) for i in range(noc.num_routers)
         ]
@@ -73,6 +76,9 @@ class ThermalModel:
                     neighborhood - self.temperatures[i]
                 )
             self.temperatures = coupled
+        self.peak_temperature_k = max(
+            self.peak_temperature_k, float(np.max(self.temperatures))
+        )
 
     def hottest(self) -> tuple[int, float]:
         """(router id, temperature) of the hottest node."""

@@ -28,6 +28,8 @@ from repro.ecc.outcomes import DecodeOutcome, ErrorSampler, decode_outcome
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from repro.control.policies import ModePolicy
+    from repro.power.accounting import EpochPower
+    from repro.telemetry import Telemetry
 from repro.faults.aging import AgingModel
 from repro.faults.injection import FaultInjector
 from repro.faults.thermal import ThermalModel
@@ -57,6 +59,7 @@ class Network:
         policy: "ModePolicy | None" = None,
         fault_injector: FaultInjector | None = None,
         sanitizer: "object | None" = None,
+        telemetry: "Telemetry | None" = None,
     ):
         from repro.analysis.sanitizer import NocSanitizer
         from repro.control.policies import make_policy
@@ -101,6 +104,15 @@ class Network:
         self._out_flits_mark = np.zeros(self.topology.num_routers)
         self._running_avg_latency = 20.0  # reward fallback before data exists
         self._active_sources: set[int] = set()
+
+        # Telemetry: pure observation, never control flow.  The hot paths
+        # guard on `_tel is not None`, so a missing or disabled hub costs
+        # one attribute check and runs are bit-identical to uninstrumented
+        # ones (the disabled-path contract of docs/observability.md).
+        self.telemetry = telemetry
+        self._tel = telemetry if (telemetry is not None and telemetry.enabled) else None
+        if self._tel is not None:
+            self._init_telemetry()
 
     # --- construction ---------------------------------------------------------
 
@@ -152,6 +164,160 @@ class Network:
             self._handle_ejection(flit, rid, cycle)
 
         return eject
+
+    # --- telemetry (enabled hubs only; see docs/observability.md) --------------
+
+    def _init_telemetry(self) -> None:
+        """Register instruments and attach observation hooks."""
+        tel = self._tel
+        assert tel is not None
+        self._tel_prev: dict[str, float] = {}
+        self._lat_hist = tel.histogram(
+            "noc_packet_latency_cycles", "End-to-end packet latency distribution"
+        )
+        for router in self.routers:
+            router.telemetry = tel
+            router.ecc.on_transition = self._make_ecc_observer(router.id)
+
+    def _make_ecc_observer(self, rid: int):
+        tel = self._tel
+        counter = tel.counter(
+            "noc_ecc_transitions_total", "Adaptive ECC hardware reconfigurations"
+        )
+
+        def observe(old: EccScheme, new: EccScheme) -> None:
+            counter.inc()
+            tel.record("ecc", self.cycle, router=rid, prev=old.value, scheme=new.value)
+
+        return observe
+
+    def _tel_count(self, name: str, help_text: str, total: float) -> None:
+        """Advance counter *name* to the model's running *total*."""
+        counter = self._tel.counter(name, help_text)
+        prev = self._tel_prev.get(name, 0.0)
+        if total > prev:
+            counter.inc(total - prev)
+            self._tel_prev[name] = total
+
+    def _sync_telemetry(self, now: int, snapshot: "EpochPower | None") -> None:
+        """Refresh epoch-granularity instruments from already-accumulated
+        model state (stats, gating, thermal, aging) — nothing here touches
+        the per-cycle hot path."""
+        tel = self._tel
+        stats = self.stats
+        count = self._tel_count
+        count("noc_packets_injected_total", "Packets entered at source NIs",
+              float(stats.packets_injected))
+        count("noc_packets_completed_total", "Packets fully ejected",
+              float(stats.packets_completed))
+        count("noc_flit_hops_total", "Flit deliveries over inter-router links",
+              float(stats.flits_delivered))
+        count("noc_flits_ejected_total", "Flits that reached their destination NI",
+              float(stats.flits_ejected_total))
+        count("noc_hop_retransmissions_total", "Per-hop NACK replays",
+              float(stats.hop_retransmissions))
+        count("noc_e2e_retransmission_flits_total",
+              "Flits re-injected after an end-to-end CRC failure",
+              float(stats.e2e_retransmission_flits))
+        count("noc_corrected_flits_total", "Flits corrected by per-hop ECC",
+              float(stats.corrected_flits))
+        count("noc_silent_corruptions_total",
+              "Flits corrupted beyond the detection envelope",
+              float(stats.silent_corruptions))
+        count("noc_bypass_traversals_total", "Flits forwarded by gated bypass switches",
+              float(stats.bypass_traversals))
+        count("noc_gate_transitions_total", "Router power-gate entries",
+              float(sum(r.gating.gate_count for r in self.routers)))
+        count("noc_wake_transitions_total", "Router wakeups (reactive and proactive)",
+              float(sum(r.gating.wake_count for r in self.routers)))
+        count("noc_mfac_function_switches_total", "MFAC runtime reconfigurations",
+              float(sum(c.function_switches for c in self.channels)))
+        tel.gauge("noc_mean_temperature_k", "Mean router temperature").set(
+            self.thermal.mean_temperature()
+        )
+        tel.gauge("noc_peak_temperature_k", "Hottest temperature reached so far").set(
+            self.thermal.peak_temperature_k
+        )
+        tel.gauge("noc_max_aging_factor", "Worst Eq. 7 aging factor").set(
+            self.aging.max_aging()
+        )
+        tel.gauge("noc_max_delta_vth_volts", "Worst accumulated threshold shift").set(
+            self.aging.max_delta_vth()
+        )
+        powered = sum(1 for r in self.routers if r.gating.powered)
+        tel.gauge("noc_powered_routers", "Routers currently powered on").set(powered)
+        occupancy = sum(c.occupancy for c in self.channels)
+        tel.gauge("noc_channel_occupancy_flits", "Flits in channel buffers").set(
+            occupancy
+        )
+        if snapshot is None:
+            return
+        power_w = float(snapshot.total_w.sum())
+        tel.gauge("noc_total_power_w", "Whole-NoC power over the last epoch").set(
+            power_w
+        )
+        tel.gauge("noc_dynamic_power_w", "Dynamic share of the last epoch").set(
+            float(snapshot.dynamic_w.sum())
+        )
+        tel.gauge("noc_static_power_w", "Leakage share of the last epoch").set(
+            float(snapshot.static_w.sum())
+        )
+        if tel.sampled(now):
+            tel.record(
+                "sample",
+                now,
+                injected=stats.packets_injected,
+                completed=stats.packets_completed,
+                power_w=round(power_w, 6),
+                mean_temp_k=round(self.thermal.mean_temperature(), 3),
+                peak_temp_k=round(self.thermal.peak_temperature_k, 3),
+                max_aging=round(self.aging.max_aging(), 9),
+                powered_routers=powered,
+                channel_flits=occupancy,
+            )
+
+    def _record_control(self, now: int, applied: list[int]) -> None:
+        """Trace one control step: the applied-mode census plus, on the
+        stride, each RL agent's reward decomposition and Q diagnostics."""
+        tel = self._tel
+        census = {str(m): 0 for m in range(5)}
+        for mode in applied:
+            census[str(mode)] += 1
+        tel.record("control", now, modes=census)
+        agents = getattr(self.policy, "agents", None)
+        if agents is None or not tel.sampled(now):
+            return
+        for agent in agents:
+            terms = agent.last_reward_terms
+            tel.record(
+                "rl",
+                now,
+                router=agent.router,
+                mode=agent.last_action,
+                reward=round(agent.last_reward, 6),
+                latency_term=round(terms[0], 6),
+                power_term=round(terms[1], 6),
+                aging_term=round(terms[2], 6),
+                explored=agent.last_explored,
+                q_delta=round(agent.last_q_delta, 9),
+                table_entries=len(agent.qtable),
+            )
+
+    def finalize_telemetry(self) -> None:
+        """Flush epoch-synced instruments and record the run summary (runs
+        rarely end exactly on an epoch boundary).  No-op when disabled."""
+        tel = self._tel
+        if tel is None:
+            return
+        self._sync_telemetry(self.cycle, None)
+        tel.record(
+            "final",
+            self.cycle,
+            injected=self.stats.packets_injected,
+            completed=self.stats.packets_completed,
+            retransmitted_flits=self.stats.total_retransmitted_flits,
+            dropped_events=tel.dropped_events,
+        )
 
     # --- public API -------------------------------------------------------------
 
@@ -338,6 +504,11 @@ class Network:
         self.accountant.add_dynamic(
             channel.src, self.power_model.retransmission_energy_pj()
         )
+        if self._tel is not None and self._tel.sampled(cycle):
+            self._tel.record(
+                "retx", cycle, src=channel.src, dst=channel.dst,
+                direction=channel.direction.name.lower(),
+            )
 
     # --- phase 3: routers ---------------------------------------------------------------
 
@@ -439,6 +610,13 @@ class Network:
         if packet.corrupted:
             self.stats.corrupted_packets_delivered += 1
         self.stats.record_completion(packet.latency, packet.src, cycle, path=packet.path)
+        if self._tel is not None:
+            self._lat_hist.observe(float(packet.latency))
+            if self._tel.sampled(cycle):
+                self._tel.record(
+                    "packet", cycle, src=packet.src, dst=packet.dst,
+                    latency=packet.latency, size=packet.size, hops=len(packet.path),
+                )
         n = self.stats.packets_completed
         self._running_avg_latency += (packet.latency - self._running_avg_latency) / min(
             n, 200
@@ -507,6 +685,8 @@ class Network:
                     self.accountant.add_dynamic(channel.src, stored * hold_pj * epoch)
         snapshot = self.accountant.close_epoch(now)
         self.thermal.step(snapshot.total_w, dt)
+        if self._tel is not None:
+            self._sync_telemetry(now, snapshot)
 
     # The stress-relaxing bypass "is operational for even low-to-moderate
     # traffic load" (Section 3.3): its single-flit-per-cycle switch cannot
@@ -536,12 +716,16 @@ class Network:
         modes = self.policy.control_step(observations, now)
         if modes is not None:
             rl_pj = self.power_model.rl_step_energy_pj()
+            applied: list[int] = []
             for router, mode, obs in zip(self.routers, modes, observations):
                 if rl_pj:
                     self.accountant.add_dynamic(router.id, rl_pj)
                 if mode == 0 and not self._bypass_admissible(router, obs):
                     mode = 1
                 router.apply_mode(mode, now)
+                applied.append(mode)
+            if self._tel is not None:
+                self._record_control(now, applied)
         self.stats.reset_epoch()
         self._out_flits_mark[:] = 0.0
 

@@ -17,6 +17,7 @@ same per-hop cycle counts as the stage-register formulation.
 from __future__ import annotations
 
 from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from repro.channels.controller import MfacController
 from repro.channels.flow_control import CongestionControlBlock
@@ -32,6 +33,9 @@ from repro.noc.routing import NUM_PORTS, Direction, xy_route
 from repro.noc.statistics import RouterEpochCounters
 from repro.noc.vc import InputPort, VcState, VirtualChannel
 from repro.power.model import PowerModel
+
+if TYPE_CHECKING:
+    from repro.telemetry import Telemetry
 
 # Operation-mode -> per-hop ECC scheme (Section 4). Mode 0/1 leave only the
 # end-to-end CRC; mode 4 keeps SECDED active under relaxed timing.
@@ -105,6 +109,9 @@ class Router:
         # Set by the network: samples bit errors for one traversal of an
         # incoming channel (used on bypassed hops, where no decoder runs).
         self.sample_link_errors: Callable[[Channel], int] | None = None
+        # Set by the network when an *enabled* telemetry hub is attached;
+        # stays None otherwise so instrumented paths cost one check.
+        self.telemetry: "Telemetry | None" = None
 
     @property
     def _adaptive(self) -> bool:
@@ -159,6 +166,7 @@ class Router:
         hardware, the outgoing MFACs, and the gating controller."""
         if mode not in MODE_SCHEME:
             raise ValueError(f"unknown operation mode {mode}")
+        prev = self.mode
         self.mode = mode
         self.relaxed_timing = mode == 4
         self.ecc.configure(MODE_SCHEME[mode])
@@ -177,6 +185,19 @@ class Router:
             pass
         else:
             self.gating.request_power_on(cycle)
+        if self.telemetry is not None and mode != prev:
+            self.telemetry.counter(
+                "noc_mode_transitions_total", "Operation-mode changes applied"
+            ).inc()
+            self.telemetry.record(
+                "mode",
+                cycle,
+                router=self.id,
+                mode=mode,
+                prev=prev,
+                scheme=self.ecc.scheme.value,
+                gating=self.gating.state.value,
+            )
 
     # --- flit delivery (called by the network) -----------------------------------
 

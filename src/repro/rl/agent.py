@@ -15,7 +15,7 @@ import numpy as np
 from repro.config import RlConfig
 from repro.rl.policy import EpsilonGreedyPolicy
 from repro.rl.qlearning import QTable
-from repro.rl.reward import compute_reward
+from repro.rl.reward import compute_reward, reward_components
 from repro.rl.state import RouterObservation, StateExtractor
 
 NUM_OPERATION_MODES = 5
@@ -41,19 +41,32 @@ class RouterAgent:
         self._prev_action: int | None = None
         self.last_reward = 0.0
         self.steps = 0
+        # Telemetry diagnostics refreshed by decide(); pure observations —
+        # none of these feed back into the learning loop.
+        self.last_reward_terms = (0.0, 0.0, 0.0)  # (latency, power, aging)
+        self.last_q_delta = 0.0
+        self.last_explored = False
+        self.last_action = config.initial_mode
 
     def decide(self, obs: RouterObservation) -> int:
         """One control step: learn from the last action, pick the next mode."""
         state = self.extractor.extract(obs)
         reward = compute_reward(obs.epoch_latency, obs.epoch_power_w, obs.aging_factor)
         self.last_reward = reward
+        self.last_reward_terms = reward_components(
+            obs.epoch_latency, obs.epoch_power_w, obs.aging_factor
+        )
+        self.last_q_delta = 0.0
         if (
             self.learning_enabled
             and self._prev_state is not None
             and self._prev_action is not None
         ):
             self.qtable.update(self._prev_state, self._prev_action, reward, state)
+            self.last_q_delta = self.qtable.last_update_delta
         action = self.policy.select(self.qtable.q_values(state))
+        self.last_explored = self.policy.last_was_exploration
+        self.last_action = action
         self._prev_state = state
         self._prev_action = action
         self.steps += 1

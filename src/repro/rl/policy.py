@@ -23,6 +23,8 @@ class EpsilonGreedyPolicy:
         self._rng = rng
         self.exploration_count = 0
         self.exploitation_count = 0
+        # Telemetry diagnostic: whether the last select() explored.
+        self.last_was_exploration = False
 
     def select(self, q_values: np.ndarray) -> int:
         """Pick an action given Q(s, .)."""
@@ -30,6 +32,8 @@ class EpsilonGreedyPolicy:
             raise ValueError("q_values length does not match action space")
         if self._rng.random() < self.epsilon:
             self.exploration_count += 1
+            self.last_was_exploration = True
             return int(self._rng.integers(self.num_actions))
         self.exploitation_count += 1
+        self.last_was_exploration = False
         return int(np.argmax(q_values))

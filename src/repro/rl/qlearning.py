@@ -48,6 +48,10 @@ class QTable:
         self._table: OrderedDict[tuple, np.ndarray] = OrderedDict()
         self.evictions = 0
         self.updates = 0
+        # Telemetry diagnostic: signed Q(s,a) change of the most recent
+        # update.  Captured *inside* update() because any extra row access
+        # from outside would disturb the LRU order and change evictions.
+        self.last_update_delta = 0.0
 
     def _row(self, state: tuple) -> np.ndarray:
         row = self._table.get(state)
@@ -89,8 +93,10 @@ class QTable:
             self._target_ema = target
             self._target_seen = True
         row = self._row(state)
+        old = float(row[action])
         row[action] = (1.0 - self.learning_rate) * row[action] + self.learning_rate * target
         self.updates += 1
+        self.last_update_delta = float(row[action]) - old
         return float(row[action])
 
     def is_finite(self) -> bool:

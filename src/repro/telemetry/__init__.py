@@ -1,0 +1,66 @@
+"""``repro.telemetry`` — zero-overhead-when-disabled instrumentation.
+
+The observability layer of the reproduction (catalogued in
+``docs/observability.md``):
+
+* :class:`Telemetry` — the hub: typed instruments (counters, gauges,
+  histograms) plus a cycle-stamped JSONL event tracer, sampled on a
+  configurable cycle stride.  Pass one to
+  :class:`~repro.noc.network.Network` (or the CLI's ``--trace`` /
+  ``--metrics-out``) to watch mode transitions, reward decompositions,
+  retransmission bursts and thermal trajectories as they happen.
+* :class:`PhaseProfiler` — wall-clock spans for the *orchestration* layer
+  (never the simulated-cycle domain), exported as Chrome trace-event JSON
+  for ``chrome://tracing``.
+* :class:`CampaignTraceSink` — turns the execution engine's progress-event
+  stream into a JSONL campaign log persisted next to result artifacts.
+
+Layering: this package sits below the orchestration layer — simulation
+packages may import it, and it imports no simulator or campaign code.  It
+obeys the same determinism lint rules as the simulator itself (no
+wall-clock/entropy reads outside the monotonic profiler clock).
+"""
+
+from repro.telemetry.campaign import (
+    CAMPAIGN_LOG_NAME,
+    CampaignTraceSink,
+    cell_span_recorder,
+    chain_progress,
+    describe_progress_event,
+)
+from repro.telemetry.hub import Telemetry
+from repro.telemetry.instruments import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Instrument,
+)
+from repro.telemetry.profiler import CHROME_TRACE_SCHEMA, PhaseProfiler, PhaseSpan
+from repro.telemetry.sinks import (
+    read_events_jsonl,
+    render_prometheus,
+    write_events_jsonl,
+    write_prometheus,
+)
+
+__all__ = [
+    "CAMPAIGN_LOG_NAME",
+    "CHROME_TRACE_SCHEMA",
+    "CampaignTraceSink",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "Instrument",
+    "PhaseProfiler",
+    "PhaseSpan",
+    "Telemetry",
+    "cell_span_recorder",
+    "chain_progress",
+    "describe_progress_event",
+    "read_events_jsonl",
+    "render_prometheus",
+    "write_events_jsonl",
+    "write_prometheus",
+]

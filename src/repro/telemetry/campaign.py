@@ -1,0 +1,135 @@
+"""Campaign-level structured logging: the executor progress-event sink.
+
+The execution engine reports cell lifecycle through ``ProgressEvent``
+callbacks (start / done / cached / retry / failed).  The sink here turns
+that stream into an append-only JSONL log persisted next to the result
+store's artifacts, so a campaign leaves a durable, machine-readable record
+of what ran, how long each cell took, and what failed — without the CLI
+having to re-clock anything.
+
+The sink is deliberately *duck-typed* over the event object (it reads
+``kind``/``completed``/``total``/``duration_s``/... by ``getattr``): the
+telemetry package sits below the orchestration layer in the import graph
+(`repro.exec` may import telemetry, never the reverse), so it cannot
+import ``repro.exec.executors`` for the type.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Callable
+from pathlib import Path
+from typing import Any
+
+from repro.telemetry.profiler import PhaseProfiler
+
+#: Default log filename, placed next to the ResultStore's artifacts.
+CAMPAIGN_LOG_NAME = "campaign-events.jsonl"
+
+ProgressLike = Any  # duck-typed executor ProgressEvent
+ProgressCallbackLike = Callable[[ProgressLike], None]
+
+
+def describe_progress_event(event: ProgressLike) -> dict[str, Any]:
+    """Flatten one executor ProgressEvent into a JSON-safe record."""
+    spec = getattr(event, "spec", None)
+    record: dict[str, Any] = {
+        "kind": getattr(event, "kind", "unknown"),
+        "label": getattr(spec, "label", ""),
+        "completed": getattr(event, "completed", 0),
+        "total": getattr(event, "total", 0),
+    }
+    duration = float(getattr(event, "duration_s", 0.0))
+    if duration:
+        record["duration_s"] = round(duration, 6)
+    seconds = float(getattr(event, "seconds", 0.0))
+    if seconds:
+        record["runtime_s"] = round(seconds, 6)
+    error = getattr(event, "error", "")
+    if error:
+        record["error"] = error
+    hasher = getattr(spec, "content_hash", None)
+    if callable(hasher):
+        record["spec_hash"] = hasher()
+    return record
+
+
+class CampaignTraceSink:
+    """Append-only JSONL sink for executor progress events.
+
+    Usable directly as a progress callback::
+
+        with CampaignTraceSink(store.cache_dir / CAMPAIGN_LOG_NAME) as sink:
+            engine = CampaignEngine(progress=sink)
+
+    Each line carries a monotonic ``t_s`` relative to the sink's creation
+    (never the wall clock: the log format stays deterministic-friendly and
+    secret-free).
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("a", encoding="utf-8")
+        self._epoch = time.monotonic()
+        self.events_written = 0
+
+    def __call__(self, event: ProgressLike) -> None:
+        record = describe_progress_event(event)
+        record["t_s"] = round(time.monotonic() - self._epoch, 6)
+        self._fh.write(json.dumps(record, sort_keys=True))
+        self._fh.write("\n")
+        self._fh.flush()
+        self.events_written += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "CampaignTraceSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def cell_span_recorder(profiler: PhaseProfiler) -> ProgressCallbackLike:
+    """A progress callback recording one profiler span per finished cell.
+
+    Uses the executor-measured ``duration_s`` (anchored to end *now*), so
+    the Chrome trace shows every cell as a block on the campaign timeline
+    — including failures, which appear in the ``cell-failed`` category.
+    """
+
+    def observe(event: ProgressLike) -> None:
+        kind = getattr(event, "kind", "")
+        if kind not in ("done", "failed"):
+            return
+        label = getattr(getattr(event, "spec", None), "label", "cell")
+        duration = max(0.0, float(getattr(event, "duration_s", 0.0)))
+        category = "cell" if kind == "done" else "cell-failed"
+        profiler.record_span(str(label), duration, category=category, kind=kind)
+
+    return observe
+
+
+def chain_progress(
+    *callbacks: ProgressCallbackLike | None,
+) -> ProgressCallbackLike | None:
+    """Compose progress callbacks; None entries are skipped.
+
+    Returns None when nothing remains, a single callback unchanged, or a
+    fan-out function calling each in order.
+    """
+    active = [cb for cb in callbacks if cb is not None]
+    if not active:
+        return None
+    if len(active) == 1:
+        return active[0]
+
+    def fan_out(event: ProgressLike) -> None:
+        for cb in active:
+            cb(event)
+
+    return fan_out

@@ -1,0 +1,155 @@
+"""Typed metric instruments: counters, gauges, histograms.
+
+Instruments follow the Prometheus data model closely enough that the text
+snapshot (:mod:`repro.telemetry.sinks`) loads into standard tooling:
+
+* :class:`Counter` — a monotonically increasing total (``*_total`` names).
+* :class:`Gauge` — a value that can go up and down (occupancy, kelvin).
+* :class:`Histogram` — cumulative bucket counts plus sum/count, for
+  distributions like per-packet latency.
+
+Instruments hold plain Python floats and never read clocks or RNGs, so
+attaching them to the simulator cannot perturb results — they are pure
+observers of values the simulation already computes.
+"""
+
+from __future__ import annotations
+
+import re
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Default latency-style buckets (powers of two, cycles).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    10.0, 20.0, 40.0, 80.0, 160.0, 320.0, 640.0, 1280.0, 2560.0,
+)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid instrument name {name!r}")
+    return name
+
+
+class Instrument:
+    """Base class: a named, documented metric."""
+
+    kind: str = "untyped"
+
+    def __init__(self, name: str, help_text: str = ""):
+        self.name = _check_name(name)
+        self.help_text = help_text
+
+    def samples(self) -> list[tuple[str, float]]:
+        """(exposition name, value) pairs for the text snapshot."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Counter(Instrument):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = ""):
+        super().__init__(name, help_text)
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self._value += amount
+
+    def samples(self) -> list[tuple[str, float]]:
+        return [(self.name, self._value)]
+
+
+class Gauge(Instrument):
+    """A value that can move in either direction."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = ""):
+        super().__init__(name, help_text)
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def samples(self) -> list[tuple[str, float]]:
+        return [(self.name, self._value)]
+
+
+class Histogram(Instrument):
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``buckets`` are the upper bounds of the finite buckets, strictly
+    increasing; an implicit ``+Inf`` bucket always exists, so ``observe``
+    never loses a sample.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help_text)
+        if not buckets:
+            raise ValueError("need at least one finite bucket bound")
+        if any(upper <= lower for lower, upper in zip(buckets, buckets[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.bounds: tuple[float, ...] = tuple(float(b) for b in buckets)
+        self._counts: list[int] = [0] * len(self.bounds)
+        self._inf_count = 0
+        self._sum = 0.0
+
+    @property
+    def count(self) -> int:
+        return sum(self._counts) + self._inf_count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def observe(self, value: float) -> None:
+        self._sum += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self._counts[i] += 1
+                return
+        self._inf_count += 1
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative (upper bound, count) pairs, ``+Inf`` last."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self._counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self._inf_count))
+        return out
+
+    def samples(self) -> list[tuple[str, float]]:
+        out: list[tuple[str, float]] = []
+        for bound, cumulative in self.bucket_counts():
+            le = "+Inf" if bound == float("inf") else format(bound, "g")
+            out.append((f'{self.name}_bucket{{le="{le}"}}', float(cumulative)))
+        out.append((f"{self.name}_sum", self._sum))
+        out.append((f"{self.name}_count", float(self.count)))
+        return out

@@ -1,0 +1,143 @@
+"""Phase profiler: wall-clock spans for the orchestration layer.
+
+The profiler times *orchestration* work — trace generation, pre-training,
+engine runs, figure rendering, individual campaign cells — never code
+inside the simulated-cycle domain: the simulation must stay a pure
+function of ``(config, trace, seed)``, so nothing in ``repro.noc`` or
+``repro.rl`` may observe a clock.  The profiler therefore lives at the
+harness altitude and uses the *monotonic* process clock
+(``time.perf_counter``), which the project lint explicitly permits for
+diagnostics.
+
+Spans export as Chrome trace-event JSON (the ``chrome://tracing`` /
+Perfetto format): complete events (``"ph": "X"``) with microsecond
+timestamps relative to the profiler's start.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+#: Schema tag for the exported profile (top-level ``otherData``).
+CHROME_TRACE_SCHEMA = "repro-phase-profile/1"
+
+
+@dataclass(frozen=True)
+class PhaseSpan:
+    """One timed phase: a named interval on the orchestration timeline."""
+
+    name: str
+    category: str
+    start_s: float  # seconds since the profiler's epoch
+    duration_s: float
+    args: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+class PhaseProfiler:
+    """Collects :class:`PhaseSpan`s and exports Chrome trace-event JSON."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._epoch = clock()
+        self.spans: list[PhaseSpan] = []
+
+    def now_s(self) -> float:
+        """Seconds since this profiler was created (monotonic)."""
+        return self._clock() - self._epoch
+
+    @contextmanager
+    def phase(self, name: str, category: str = "phase", **args: Any) -> Iterator[None]:
+        """Time one orchestration phase::
+
+            with profiler.phase("engine.run", cells=12):
+                engine.run(specs)
+        """
+        start = self.now_s()
+        try:
+            yield
+        finally:
+            self.spans.append(
+                PhaseSpan(name, category, start, self.now_s() - start, dict(args))
+            )
+
+    def record_span(
+        self,
+        name: str,
+        duration_s: float,
+        category: str = "cell",
+        end_s: float | None = None,
+        **args: Any,
+    ) -> PhaseSpan:
+        """Record a span timed elsewhere (e.g. an executor's ``duration_s``).
+
+        When *end_s* is omitted the span is anchored so it ends now — the
+        natural fit for progress events that arrive at completion time.
+        """
+        if duration_s < 0:
+            raise ValueError("span duration cannot be negative")
+        end = self.now_s() if end_s is None else end_s
+        span = PhaseSpan(name, category, max(0.0, end - duration_s),
+                         duration_s, dict(args))
+        self.spans.append(span)
+        return span
+
+    # --- summaries ------------------------------------------------------------
+
+    def total_s(self, name: str) -> float:
+        """Summed duration of every span named *name*."""
+        return sum(s.duration_s for s in self.spans if s.name == name)
+
+    def summary(self) -> list[tuple[str, int, float]]:
+        """(name, span count, total seconds), ordered by first occurrence."""
+        order: list[str] = []
+        counts: dict[str, int] = {}
+        totals: dict[str, float] = {}
+        for span in self.spans:
+            if span.name not in counts:
+                order.append(span.name)
+                counts[span.name] = 0
+                totals[span.name] = 0.0
+            counts[span.name] += 1
+            totals[span.name] += span.duration_s
+        return [(name, counts[name], totals[name]) for name in order]
+
+    # --- Chrome trace-event export --------------------------------------------
+
+    def to_chrome_trace(self) -> dict[str, Any]:
+        """The ``chrome://tracing`` JSON object (complete ``X`` events)."""
+        events: list[dict[str, Any]] = []
+        for span in sorted(self.spans, key=lambda s: s.start_s):
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category,
+                    "ph": "X",
+                    "ts": round(span.start_s * 1e6, 3),
+                    "dur": round(span.duration_s * 1e6, 3),
+                    "pid": 0,
+                    "tid": 0,
+                    "args": span.args,
+                }
+            )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"schema": CHROME_TRACE_SCHEMA},
+        }
+
+    def write_chrome_trace(self, path: str | Path) -> Path:
+        """Write the profile as Chrome trace-event JSON; returns the path."""
+        out = Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(self.to_chrome_trace()), encoding="utf-8")
+        return out

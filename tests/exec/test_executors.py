@@ -80,6 +80,31 @@ class TestSerialExecutor:
         assert events[-1].completed == 2
         assert events[-1].total == 2
 
+    def test_done_events_carry_monotonic_duration(self):
+        events = []
+
+        def slowish(spec):
+            time.sleep(0.01)
+            return _ok_cell(spec)
+
+        SerialExecutor().run(make_specs(1), progress=events.append, fn=slowish)
+        done = [e for e in events if e.kind == "done"][0]
+        assert done.duration_s >= 0.01
+
+    def test_failure_events_carry_duration(self):
+        events = []
+
+        def always_broken(spec):
+            raise RuntimeError("doomed")
+
+        with pytest.raises(CellExecutionError):
+            SerialExecutor().run(
+                make_specs(1), progress=events.append, fn=always_broken
+            )
+        kinds = {e.kind: e for e in events}
+        assert kinds["retry"].duration_s >= 0.0
+        assert kinds["failed"].duration_s >= 0.0
+
 
 class TestParallelExecutor:
     def test_results_align_with_specs(self):
@@ -108,3 +133,4 @@ class TestParallelExecutor:
         kinds = [e.kind for e in events]
         assert kinds.count("start") == 3
         assert kinds.count("done") == 3
+        assert all(e.duration_s > 0.0 for e in events if e.kind == "done")
