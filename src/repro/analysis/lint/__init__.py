@@ -39,6 +39,7 @@ RULES: dict[str, str] = {
     "NOC102": "wall-clock/entropy source inside the simulator",
     "NOC103": "iteration over an unordered set in simulation code",
     "NOC104": "mutable default argument",
+    "NOC105": "sleep/timer call inside a simulation package: stay cycle-driven",
     "NOC201": "simulation package imports an orchestration layer",
     "NOC202": "cell-spec dataclass is not frozen",
     "NOC301": "bare `except:` clause",
@@ -66,6 +67,20 @@ _CLOCK_ENTROPY = frozenset(
         "os.urandom",
         "uuid.uuid1",
         "uuid.uuid4",
+    }
+)
+
+#: Wall-clock stalls and timer reads banned *inside the simulator*
+#: (NOC105): simulated time is cycle-driven, so sleeping can only hide an
+#: orchestration concern, and even monotonic reads belong to the
+#: harness/backoff layer (diagnostic uses carry a reasoned noqa).
+_SIM_TIMER_CALLS = frozenset(
+    {
+        "time.sleep",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
     }
 )
 
@@ -256,6 +271,8 @@ class _FileLinter(ast.NodeVisitor):
                 self.report("NOC101", node, resolved)
             elif resolved in _CLOCK_ENTROPY or resolved.startswith("secrets."):
                 self.report("NOC102", node, resolved)
+            elif self.in_sim_package and resolved in _SIM_TIMER_CALLS:
+                self.report("NOC105", node, resolved)
         self.generic_visit(node)
 
     @staticmethod

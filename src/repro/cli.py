@@ -5,9 +5,16 @@ Usage::
     python -m repro run --technique intellinoc --benchmark bod
     python -m repro run --benchmark swa --trace run.jsonl --metrics-out run.prom
     python -m repro campaign --benchmarks swa bod can --duration 4000
+    python -m repro campaign --failure-policy quarantine --journal c.jsonl
+    python -m repro campaign --resume c.jsonl
     python -m repro sweep --knob epsilon --values 0 0.05 0.5
     python -m repro trace --benchmark vips --out vips.jsonl
+    python -m repro cache verify
     python -m repro area
+
+Exit codes: 0 success, 2 usage/config error, 3 partial results (cells
+quarantined or skipped), 75 interrupted after a graceful drain (resume
+with ``--resume``); see docs/resilience.md.
 
 Output discipline: the *results* (metric tables, figure tables) go to
 stdout via ``print``; everything diagnostic — progress lines, pre-training
@@ -33,6 +40,14 @@ from repro.config import all_techniques, technique
 from repro.core.experiment import ExperimentRunner
 from repro.core.intellinoc import IntelliNoCSystem
 from repro.core.sweep import SensitivitySweep
+from repro.exec.resilience import (
+    EXIT_INTERRUPTED,
+    EXIT_PARTIAL,
+    CampaignInterrupted,
+    FailurePolicy,
+    ShutdownFlag,
+    graceful_shutdown,
+)
 from repro.telemetry import (
     CampaignTraceSink,
     PhaseProfiler,
@@ -115,13 +130,44 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         "--campaign-log", default=None, metavar="PATH",
         help="append executor progress events to PATH as JSON lines",
     )
+    parser.add_argument(
+        "--failure-policy", default="abort",
+        choices=[p.value for p in FailurePolicy],
+        help="what a permanently failing cell does: abort the campaign, "
+             "skip it, or quarantine it with a persisted post-mortem "
+             "(default: abort)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock budget; an overrunning attempt counts "
+             "as a retryable failure",
+    )
+    parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append a crash-safe campaign journal to PATH "
+             "(enables --resume after a crash or interrupt)",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="replay the journal at PATH: finished cells are served from "
+             "the cache, quarantined cells re-reported, only unfinished "
+             "cells execute (continues journaling to the same file unless "
+             "--journal overrides it)",
+    )
 
 
-def _engine_kwargs(args: argparse.Namespace, sink=None) -> dict:
+def _engine_kwargs(
+    args: argparse.Namespace, sink=None, cancel: ShutdownFlag | None = None
+) -> dict:
     return {
         "jobs": args.jobs,
         "cache_dir": None if args.no_cache else args.cache_dir,
         "use_cache": not args.no_cache,
+        "timeout_s": args.timeout,
+        "failure_policy": args.failure_policy,
+        "journal_path": args.journal,
+        "resume_from": args.resume,
+        "cancel": cancel,
         "progress": chain_progress(_print_progress, sink),
     }
 
@@ -135,6 +181,14 @@ def _print_progress(event) -> None:
     elif event.kind == "cached":
         _LOG.info("[%d/%d] %s (cache hit)",
                   event.completed, event.total, event.spec.label)
+    elif event.kind == "resumed":
+        _LOG.info("[%d/%d] %s (resumed from journal)",
+                  event.completed, event.total, event.spec.label)
+    elif event.kind == "backoff":
+        _LOG.info("%s: backing off %.2fs after attempt %d",
+                  event.spec.label, event.seconds, event.attempt)
+    elif event.kind == "quarantined":
+        _LOG.warning("%s quarantined: %s", event.spec.label, event.error)
     elif event.kind in ("retry", "failed"):
         _LOG.warning("%s %s: %s", event.spec.label, event.kind, event.error)
 
@@ -201,10 +255,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_quarantined(quarantined) -> int:
+    """Warn about every failed cell; the exit code for a partial run."""
+    for cell in quarantined:
+        _LOG.warning("quarantined %s: %s", cell.spec.label, cell.cause)
+    _LOG.warning("%d cell(s) failed; results are partial", len(quarantined))
+    return EXIT_PARTIAL
+
+
+def _report_interrupted(exc: CampaignInterrupted) -> int:
+    hint = f" --resume {exc.journal_path}" if exc.journal_path else ""
+    _LOG.warning("%s", exc)
+    if hint:
+        _LOG.warning("finish the remainder with:%s", hint)
+    return EXIT_INTERRUPTED
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     _apply_sanitize(args)
     profiler = PhaseProfiler() if args.profile else None
     sink = CampaignTraceSink(args.campaign_log) if args.campaign_log else None
+    flag = ShutdownFlag()
+    exit_code = 0
     try:
         runner = ExperimentRunner(
             duration=args.duration,
@@ -212,9 +284,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             benchmarks=args.benchmarks,
             pretrain_cycles=args.pretrain,
             profiler=profiler,
-            **_engine_kwargs(args, sink),
+            **_engine_kwargs(args, sink, cancel=flag),
         )
-        runner.run_campaign()
+        with graceful_shutdown(flag):
+            runner.run_campaign()
         figures = {
             "speedup": runner.figure9_speedup,
             "latency": runner.figure10_latency,
@@ -234,23 +307,29 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             table, _ = figures[name]()
             print()
             print(table)
+        if runner.engine.quarantined:
+            exit_code = _report_quarantined(runner.engine.quarantined)
+    except CampaignInterrupted as exc:
+        exit_code = _report_interrupted(exc)
     finally:
         if sink is not None:
             sink.close()
     if sink is not None:
         _LOG.info("wrote %d campaign events to %s", sink.events_written, sink.path)
     _write_profile(profiler, args.profile)
-    return 0
+    return exit_code
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     _apply_sanitize(args)
     profiler = PhaseProfiler() if args.profile else None
     sink = CampaignTraceSink(args.campaign_log) if args.campaign_log else None
+    flag = ShutdownFlag()
+    exit_code = 0
     try:
         sweep = SensitivitySweep(
             duration=args.duration, seed=args.seed, profiler=profiler,
-            **_engine_kwargs(args, sink),
+            **_engine_kwargs(args, sink, cancel=flag),
         )
         dispatch = {
             "time-step": (sweep.sweep_time_step, int),
@@ -263,7 +342,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                        args.knob, sorted(dispatch))
             return 2
         fn, cast = dispatch[args.knob]
-        points = fn([cast(v) for v in args.values])
+        with graceful_shutdown(flag):
+            points = fn([cast(v) for v in args.values])
         rows = [
             [p.value, p.metrics.latency.mean, p.edp, p.retransmission_rate]
             for p in points
@@ -274,12 +354,37 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             title=f"Sensitivity sweep: {args.knob}",
             float_fmt="{:.4g}",
         ))
+        if sweep.engine.quarantined:
+            exit_code = _report_quarantined(sweep.engine.quarantined)
+    except CampaignInterrupted as exc:
+        exit_code = _report_interrupted(exc)
     finally:
         if sink is not None:
             sink.close()
     if sink is not None:
         _LOG.info("wrote %d campaign events to %s", sink.events_written, sink.path)
     _write_profile(profiler, args.profile)
+    return exit_code
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.exec.store import ResultStore
+
+    store = ResultStore(args.cache_dir)
+    if args.action == "verify":
+        audit = store.audit()
+        for entry in audit.corrupt:
+            _LOG.warning("corrupt %s artifact %s: %s",
+                         entry.kind, entry.path, entry.problem)
+        for entry in audit.stale_failures:
+            _LOG.info("stale failure post-mortem: %s", entry.path)
+        print(f"checked {audit.checked} artifact(s) in {store.cache_dir}: "
+              f"{audit.healthy} healthy, {len(audit.corrupt)} corrupt, "
+              f"{len(audit.stale_failures)} stale failure post-mortem(s)")
+        return 0 if audit.ok else 1
+    corrupt, stale = store.prune()
+    print(f"pruned {corrupt} corrupt artifact(s) and {stale} stale "
+          f"failure post-mortem(s) from {store.cache_dir}")
     return 0
 
 
@@ -351,6 +456,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     _add_engine_options(p)
     p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser("cache", help="verify or prune the result cache")
+    p.add_argument("action", choices=["verify", "prune"],
+                   help="verify: re-hash every artifact and report damage "
+                        "(exit 1 on corruption); prune: drop corrupt "
+                        "artifacts and stale failure post-mortems")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="result-cache directory "
+                        "(default: ~/.cache/intellinoc-repro)")
+    _add_logging_options(p)
+    p.set_defaults(fn=_cmd_cache)
 
     p = sub.add_parser("trace", help="generate and save a PARSEC-profile trace")
     p.add_argument("--benchmark", default="bod", choices=sorted(PARSEC_PROFILES))

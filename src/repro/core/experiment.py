@@ -26,6 +26,12 @@ from repro.control.policies import ModePolicy
 from repro.core import figures
 from repro.exec.engine import CampaignEngine
 from repro.exec.executors import ParallelExecutor, ProgressCallback, SerialExecutor
+from repro.exec.resilience import (
+    CampaignJournal,
+    FailurePolicy,
+    ShutdownFlag,
+    load_journal,
+)
 from repro.exec.spec import CellSpec, parsec_cell
 from repro.exec.store import ResultStore
 from repro.metrics.summary import RunMetrics
@@ -98,6 +104,14 @@ class ExperimentRunner:
     cache_dir: str | Path | None = None
     use_cache: bool = False
     timeout_s: float | None = None
+    #: What a permanently failing cell does: abort (raise), skip, quarantine.
+    failure_policy: FailurePolicy | str = FailurePolicy.ABORT
+    #: Crash-safe campaign journal location (enables resume after a crash).
+    journal_path: str | Path | None = None
+    #: Journal of an interrupted earlier run to replay before executing.
+    resume_from: str | Path | None = None
+    #: Cooperative shutdown token (see repro.exec.resilience.graceful_shutdown).
+    cancel: ShutdownFlag | None = None
     progress: ProgressCallback | None = None
     # Optional phase profiler: engine runs become "engine.run" phases and
     # every finished cell a span, exportable as Chrome trace-event JSON.
@@ -116,7 +130,7 @@ class ExperimentRunner:
                     jobs=self.jobs, timeout_s=self.timeout_s
                 )
             else:
-                executor = SerialExecutor()
+                executor = SerialExecutor(timeout_s=self.timeout_s)
             store = (
                 ResultStore(self.cache_dir)
                 if (self.use_cache or self.cache_dir is not None)
@@ -127,10 +141,28 @@ class ExperimentRunner:
                 if self.profiler is not None
                 else None
             )
+            resume = (
+                load_journal(self.resume_from)
+                if self.resume_from is not None
+                else None
+            )
+            journal_path = (
+                self.journal_path
+                if self.journal_path is not None
+                else self.resume_from
+            )
             self._engine = CampaignEngine(
                 executor=executor,
                 store=store,
                 progress=chain_progress(self.progress, spans),
+                failure_policy=self.failure_policy,
+                journal=(
+                    CampaignJournal(journal_path)
+                    if journal_path is not None
+                    else None
+                ),
+                resume=resume,
+                cancel=self.cancel,
             )
         return self._engine
 
@@ -178,15 +210,25 @@ class ExperimentRunner:
 
     # --- campaign execution ---------------------------------------------------
 
-    def run_cell(self, technique: TechniqueConfig, benchmark: str) -> RunMetrics:
+    def run_cell(
+        self, technique: TechniqueConfig, benchmark: str
+    ) -> RunMetrics | None:
+        """One cell's metrics — None when the cell was skipped/quarantined."""
         key = (technique.name, benchmark)
         if key not in self._cache:
             report = self._run_specs([self.spec_for(technique, benchmark)])
+            if report.metrics[0] is None:
+                return None  # not memoized: a later run may retry it
             self._cache[key] = report.metrics[0]
         return self._cache[key]
 
     def run_campaign(self) -> dict[tuple[str, str], RunMetrics]:
-        """All (technique, benchmark) cells, executed via the engine."""
+        """All (technique, benchmark) cells, executed via the engine.
+
+        Under the non-aborting failure policies a failed cell simply has
+        no entry, so figure renderers degrade to the surviving rows (the
+        cells appear in ``engine.quarantined`` for reporting).
+        """
         missing = [
             (technique, benchmark)
             for technique in self.techniques
@@ -197,7 +239,8 @@ class ExperimentRunner:
             specs = [self.spec_for(t, b) for t, b in missing]
             report = self._run_specs(specs)
             for (technique, benchmark), metrics in zip(missing, report.metrics):
-                self._cache[(technique.name, benchmark)] = metrics
+                if metrics is not None:
+                    self._cache[(technique.name, benchmark)] = metrics
         return dict(self._cache)
 
     # --- figure renderers (pure functions over campaign results) -------------

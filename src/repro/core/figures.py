@@ -5,6 +5,12 @@ benchmark): RunMetrics}`` mapping, exactly what the execution engine
 returns (or what a result-store artifact decodes to) — and produces the
 paper-style table plus the per-technique averages.  No simulation ever
 happens here, so figures can be re-rendered from cached artifacts alone.
+
+Renderers degrade gracefully under the non-aborting failure policies: a
+benchmark missing any technique's cell (quarantined or skipped) is dropped
+from the table and listed in an ``omitted`` footer instead of raising, so
+a partially failed campaign still yields every figure its surviving cells
+support.
 """
 
 from __future__ import annotations
@@ -26,10 +32,21 @@ def metric_table(
     invert: bool = False,
     baseline: str = "SECDED",
 ) -> tuple[str, dict[str, float]]:
-    """Per-benchmark normalized metric table plus technique averages."""
+    """Per-benchmark normalized metric table plus technique averages.
+
+    Benchmarks missing any technique's result (a quarantined or skipped
+    cell) are dropped and noted in a footer; normalization stays apples
+    to apples within every surviving row.
+    """
     rows = []
     averages: dict[str, list[float]] = {name: [] for name in technique_names}
+    omitted = []
     for benchmark in benchmarks:
+        if any(
+            results.get((name, benchmark)) is None for name in technique_names
+        ):
+            omitted.append(benchmark)
+            continue
         raw = {
             name: metric(results[(name, benchmark)]) for name in technique_names
         }
@@ -37,12 +54,19 @@ def metric_table(
         rows.append([benchmark] + [normalized[name] for name in technique_names])
         for name, value in normalized.items():
             averages[name].append(value)
+    if not rows:
+        raise ValueError(
+            f"no benchmark has complete results for {title!r} "
+            f"(incomplete: {', '.join(omitted)})"
+        )
     avg_row = ["average"] + [
         geometric_mean(averages[name]) for name in technique_names
     ]
     rows.append(avg_row)
     headers = ["benchmark"] + list(technique_names)
     table = format_table(headers, rows, title=title)
+    if omitted:
+        table += "\nomitted (incomplete results): " + ", ".join(omitted)
     return table, {
         name: avg_row[1 + i] for i, name in enumerate(technique_names)
     }
@@ -98,13 +122,25 @@ def figure14_mode_breakdown(
 ) -> tuple[str, dict[int, float]]:
     """Fig. 14: IntelliNoC operation-mode occupancy per benchmark."""
     rows = []
+    omitted = []
     for benchmark in benchmarks:
-        breakdown = results[(technique_name, benchmark)].mode_breakdown
+        metrics = results.get((technique_name, benchmark))
+        if metrics is None:
+            omitted.append(benchmark)
+            continue
+        breakdown = metrics.mode_breakdown
         rows.append(
             [benchmark] + [breakdown.get(mode, 0.0) for mode in range(5)]
         )
+    if not rows:
+        raise ValueError(
+            f"no benchmark has a {technique_name} result for Fig. 14 "
+            f"(incomplete: {', '.join(omitted)})"
+        )
     headers = ["benchmark"] + [f"mode {m}" for m in range(5)]
     table = format_table(headers, rows, title="Fig. 14 - Operation mode breakdown")
+    if omitted:
+        table += "\nomitted (incomplete results): " + ", ".join(omitted)
     avg = {m: sum(r[1 + m] for r in rows) / len(rows) for m in range(5)}
     return table, avg
 

@@ -20,6 +20,7 @@ from pathlib import Path
 from repro.config import FaultConfig, TechniqueConfig
 from repro.exec.engine import CampaignEngine
 from repro.exec.executors import ParallelExecutor, SerialExecutor
+from repro.exec.resilience import FailurePolicy
 from repro.exec.spec import CellSpec, synthetic_cell
 from repro.exec.store import ResultStore
 from repro.metrics.summary import RunMetrics
@@ -57,6 +58,7 @@ class LoadLatencySweep:
     jobs: int = 1
     cache_dir: str | Path | None = None
     use_cache: bool = False
+    failure_policy: FailurePolicy | str = FailurePolicy.ABORT
     _engine: CampaignEngine | None = field(default=None, repr=False)
 
     @property
@@ -72,7 +74,11 @@ class LoadLatencySweep:
                 if (self.use_cache or self.cache_dir is not None)
                 else None
             )
-            self._engine = CampaignEngine(executor=executor, store=store)
+            self._engine = CampaignEngine(
+                executor=executor,
+                store=store,
+                failure_policy=self.failure_policy,
+            )
         return self._engine
 
     def spec_for(self, injection_rate: float) -> CellSpec:
@@ -88,7 +94,13 @@ class LoadLatencySweep:
             max_cycles=self.duration + self.drain_budget,
         )
 
-    def _point(self, injection_rate: float, metrics: RunMetrics) -> LoadPoint:
+    def _point(
+        self, injection_rate: float, metrics: RunMetrics | None
+    ) -> LoadPoint:
+        if metrics is None:
+            # A quarantined/skipped point reads as fully saturated: infinite
+            # latency, nothing delivered — conservative for bisection.
+            return LoadPoint(injection_rate, float("inf"), 0.0, 0.0)
         noc = self.technique.noc
         completed = metrics.packets_completed
         return LoadPoint(

@@ -16,6 +16,12 @@ from pathlib import Path
 from repro.config import FaultConfig, INTELLINOC, TechniqueConfig
 from repro.exec.engine import CampaignEngine
 from repro.exec.executors import ParallelExecutor, ProgressCallback, SerialExecutor
+from repro.exec.resilience import (
+    CampaignJournal,
+    FailurePolicy,
+    ShutdownFlag,
+    load_journal,
+)
 from repro.exec.spec import CellSpec, parsec_cell
 from repro.exec.store import ResultStore
 from repro.metrics.summary import RunMetrics
@@ -50,6 +56,11 @@ class SensitivitySweep:
     jobs: int = 1
     cache_dir: str | Path | None = None
     use_cache: bool = False
+    timeout_s: float | None = None
+    failure_policy: FailurePolicy | str = FailurePolicy.ABORT
+    journal_path: str | Path | None = None
+    resume_from: str | Path | None = None
+    cancel: ShutdownFlag | None = None
     progress: ProgressCallback | None = None
     profiler: PhaseProfiler | None = None
     _engine: CampaignEngine | None = field(default=None, repr=False)
@@ -58,9 +69,9 @@ class SensitivitySweep:
     def engine(self) -> CampaignEngine:
         if self._engine is None:
             executor = (
-                ParallelExecutor(jobs=self.jobs)
+                ParallelExecutor(jobs=self.jobs, timeout_s=self.timeout_s)
                 if self.jobs > 1
-                else SerialExecutor()
+                else SerialExecutor(timeout_s=self.timeout_s)
             )
             store = (
                 ResultStore(self.cache_dir)
@@ -72,10 +83,27 @@ class SensitivitySweep:
                 if self.profiler is not None
                 else None
             )
+            journal_path = (
+                self.journal_path
+                if self.journal_path is not None
+                else self.resume_from
+            )
             self._engine = CampaignEngine(
                 executor=executor,
                 store=store,
                 progress=chain_progress(self.progress, spans),
+                failure_policy=self.failure_policy,
+                journal=(
+                    CampaignJournal(journal_path)
+                    if journal_path is not None
+                    else None
+                ),
+                resume=(
+                    load_journal(self.resume_from)
+                    if self.resume_from is not None
+                    else None
+                ),
+                cancel=self.cancel,
             )
         return self._engine
 
@@ -96,7 +124,11 @@ class SensitivitySweep:
         else:
             with self.profiler.phase("sweep.run", points=len(specs)):
                 metrics = self.engine.run(specs).metrics
-        return [SweepPoint(v, m) for v, m in zip(values, metrics)]
+        # Quarantined/skipped points drop out of the curve instead of
+        # killing the sweep; the engine's report still names them.
+        return [
+            SweepPoint(v, m) for v, m in zip(values, metrics) if m is not None
+        ]
 
     def sweep_time_step(self, steps: list[int]) -> list[SweepPoint]:
         """Fig. 17(a): RL control interval from 200 to 10k cycles."""

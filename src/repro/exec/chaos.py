@@ -1,0 +1,203 @@
+"""Chaos harness: deterministic, seeded fault injection for the exec layer.
+
+The resilience machinery (failure policies, backoff, journal/resume, the
+``BrokenProcessPool`` rebuild, the store's treat-corruption-as-miss
+contract) is only trustworthy if every recovery path is *driven*, not just
+written.  This module wraps the two injection surfaces a campaign has —
+the executor's cell function and the result store — with policy-driven
+faults:
+
+* worker crashes (``os._exit``) — breaks the process pool mid-cell,
+* hangs (a sleep long enough to trip ``timeout_s``),
+* transient exceptions (charged against the retry budget),
+* permanently doomed cells (every attempt fails),
+* corrupt/truncated cache artifacts (the store must treat them as misses),
+* ``ENOSPC``-style write failures (the engine must degrade to a warning).
+
+Every decision is a pure function of ``(policy.seed, spec hash, attempt)``
+via the same blake2b construction the backoff jitter uses, so a chaos run
+is exactly reproducible.  Attempt counting crosses process boundaries
+through a ledger of files under ``state_dir`` (a crashed worker cannot
+report back any other way), and ``max_faults_per_cell`` caps the injected
+faults per cell so that a retry budget of one always suffices for the
+non-doomed cells — chaos stays survivable by construction.
+
+Used by ``tests/exec/chaos``; see docs/resilience.md for drill recipes.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.exec.resilience import _unit_uniform
+from repro.exec.spec import CellSpec
+from repro.exec.store import ResultStore
+from repro.exec.worker import execute_cell_payload
+
+#: Exit status of a chaos-crashed worker (distinctive in core-dump triage).
+CHAOS_EXIT_CODE = 23
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """Seeded description of which faults to inject, and how often.
+
+    ``state_dir`` holds the cross-process attempt/fault ledger and must be
+    shared by every worker (pass a fresh temp dir per drill).  Rates are
+    evaluated per (cell, attempt) against deterministic uniforms; the
+    ``doomed`` tuple lists spec content hashes that fail every attempt
+    regardless of rates or the fault cap.
+    """
+
+    state_dir: str
+    seed: int = 0
+    crash_rate: float = 0.0  # hard worker exit (os._exit)
+    hang_rate: float = 0.0  # stall long enough to trip timeout_s
+    hang_s: float = 5.0
+    transient_rate: float = 0.0  # plain retryable exception
+    doomed: tuple[str, ...] = ()  # spec hashes that always fail
+    corrupt_rate: float = 0.0  # store puts whose artifact gets truncated
+    write_failure_rate: float = 0.0  # store puts that raise ENOSPC
+    #: Injected-fault budget per cell (doomed cells exempt): once spent,
+    #: the cell runs clean, so ``retries >= max_faults_per_cell`` always
+    #: recovers.
+    max_faults_per_cell: int = 1
+
+    def uniform(self, kind: str, spec_hash: str, attempt: int = 0) -> float:
+        return _unit_uniform(self.seed, kind, spec_hash, attempt)
+
+    # --- the cross-process ledger --------------------------------------------
+
+    def _ledger_path(self, spec_hash: str) -> Path:
+        return Path(self.state_dir) / f"chaos-{spec_hash}.json"
+
+    def _ledger_read(self, spec_hash: str) -> dict[str, int]:
+        try:
+            raw = json.loads(self._ledger_path(spec_hash).read_text())
+            return {"attempts": int(raw["attempts"]), "faults": int(raw["faults"])}
+        except (OSError, ValueError, KeyError, TypeError):
+            return {"attempts": 0, "faults": 0}
+
+    def _ledger_write(self, spec_hash: str, entry: dict[str, int]) -> None:
+        path = self._ledger_path(spec_hash)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(entry))
+
+    def next_attempt(self, spec_hash: str) -> tuple[int, bool]:
+        """Record one attempt; return (attempt index, fault budget left).
+
+        The ledger is written *before* any fault fires so a hard crash
+        still counts — that is the whole point of keeping it on disk.
+        """
+        entry = self._ledger_read(spec_hash)
+        entry["attempts"] += 1
+        budget_left = entry["faults"] < self.max_faults_per_cell
+        self._ledger_write(spec_hash, entry)
+        return entry["attempts"], budget_left
+
+    def charge_fault(self, spec_hash: str) -> None:
+        entry = self._ledger_read(spec_hash)
+        entry["faults"] += 1
+        self._ledger_write(spec_hash, entry)
+
+    def once(self, kind: str, spec_hash: str) -> bool:
+        """True exactly once per (kind, cell) — for store-level faults."""
+        marker = Path(self.state_dir) / f"chaos-{kind}-{spec_hash}.marker"
+        if marker.exists():
+            return False
+        marker.parent.mkdir(parents=True, exist_ok=True)
+        marker.write_text("fired")
+        return True
+
+    def pick_fault(self, spec_hash: str, attempt: int) -> str | None:
+        """Deterministically choose this attempt's fault, if any."""
+        u = self.uniform("fault", spec_hash, attempt)
+        edge = 0.0
+        for kind, rate in (
+            ("crash", self.crash_rate),
+            ("hang", self.hang_rate),
+            ("transient", self.transient_rate),
+        ):
+            edge += rate
+            if u < edge:
+                return kind
+        return None
+
+
+class ChaosError(RuntimeError):
+    """An injected (retryable) cell failure."""
+
+
+class ChaosCellFn:
+    """Picklable cell function injecting faults ahead of the real one.
+
+    Instances cross process boundaries (the parallel executor pickles the
+    callable), so all mutable state lives in the policy's ``state_dir``.
+    """
+
+    def __init__(
+        self,
+        policy: ChaosPolicy,
+        fn: Callable[[CellSpec], dict[str, Any]] = execute_cell_payload,
+    ):
+        self.policy = policy
+        self.fn = fn
+
+    def __call__(self, spec: CellSpec) -> dict[str, Any]:
+        policy = self.policy
+        h = spec.content_hash()
+        if h in policy.doomed:
+            raise ChaosError(f"chaos: cell {spec.label} is doomed")
+        attempt, budget_left = policy.next_attempt(h)
+        fault = policy.pick_fault(h, attempt) if budget_left else None
+        if fault is not None:
+            policy.charge_fault(h)
+            if fault == "crash":
+                os._exit(CHAOS_EXIT_CODE)
+            if fault == "hang":
+                # Long enough to trip a configured timeout_s; if no timeout
+                # was set the hang degrades to a slow transient failure.
+                time.sleep(policy.hang_s)
+                raise ChaosError(f"chaos: cell {spec.label} hung {policy.hang_s}s")
+            raise ChaosError(f"chaos: transient fault on {spec.label}")
+        return self.fn(spec)
+
+
+class ChaosStore(ResultStore):
+    """Result store whose writes fail or corrupt deterministically.
+
+    * ``write_failure_rate`` — ``put`` raises ``OSError(ENOSPC)`` (once
+      per cell), proving the engine degrades cache writes to warnings.
+    * ``corrupt_rate`` — ``put`` succeeds, then the artifact is truncated
+      (once per cell), proving ``get``'s treat-corruption-as-miss contract
+      end-to-end: the next run re-simulates and heals the entry.
+
+    Reads are untouched — corruption is only interesting when the pristine
+    read path has to survive it.
+    """
+
+    def __init__(self, cache_dir: str | Path, policy: ChaosPolicy):
+        super().__init__(cache_dir)
+        self.policy = policy
+
+    def put(self, spec: CellSpec, payload: dict[str, Any]) -> Path:
+        h = spec.content_hash()
+        if (
+            self.policy.uniform("enospc", h) < self.policy.write_failure_rate
+            and self.policy.once("enospc", h)
+        ):
+            raise OSError(errno.ENOSPC, f"chaos: disk full writing {spec.label}")
+        path = super().put(spec, payload)
+        if (
+            self.policy.uniform("corrupt", h) < self.policy.corrupt_rate
+            and self.policy.once("corrupt", h)
+        ):
+            data = path.read_bytes()
+            path.write_bytes(data[: max(1, len(data) // 2)])
+        return path

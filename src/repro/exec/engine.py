@@ -6,17 +6,29 @@ the load-latency harness, the CLI).  Given a list of cell specs it
 
 1. deduplicates them by content hash (a grid or bisection often asks for
    the same cell twice),
-2. serves every cell it can from the :class:`~repro.exec.store.ResultStore`,
-3. hands only the misses to the executor,
-4. persists fresh results back to the store,
+2. replays a resumed journal so finished (and quarantined) cells of an
+   interrupted campaign never re-execute,
+3. serves every cell it can from the :class:`~repro.exec.store.ResultStore`,
+4. hands only the misses to the executor,
+5. persists fresh results back to the store — and into the campaign
+   journal — *the moment each cell completes*, so a crash or shutdown
+   loses nothing that finished,
 
 and returns :class:`RunMetrics` aligned with the input specs.  The
-report's counters (``executed`` vs ``cache_hits``) make cache behavior
-testable: a repeated campaign must show zero executor submissions.
+report's counters (``executed`` vs ``cache_hits`` vs ``resumed``) make
+cache and resume behavior testable: a repeated campaign must show zero
+executor submissions, and a resumed one only the unfinished cells.
+
+Failure policy (:class:`~repro.exec.resilience.FailurePolicy`) decides
+what a permanently failing cell does: ``abort`` raises (historical
+behavior), ``skip``/``quarantine`` leave a ``None`` metrics slot and
+record the cell in ``CampaignReport.failed`` so downstream consumers
+degrade to partial results instead of dying.
 """
 
 from __future__ import annotations
 
+import logging
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Any
@@ -29,23 +41,63 @@ from repro.exec.executors import (
     SerialExecutor,
     _emit,
 )
+from repro.exec.resilience import (
+    CampaignInterrupted,
+    CampaignJournal,
+    CellFailure,
+    ExecutorInterrupted,
+    FailurePolicy,
+    JournalMismatch,
+    JournalState,
+    QuarantinedCell,
+    ShutdownFlag,
+    manifest_hash,
+)
 from repro.exec.spec import CellSpec
 from repro.exec.store import ResultStore
 from repro.metrics.summary import RunMetrics
 
+_LOG = logging.getLogger("repro")
+
+#: Per-spec status values in :attr:`CampaignReport.statuses`.
+STATUS_OK = "ok"
+STATUS_CACHED = "cached"
+STATUS_RESUMED = "resumed"
+STATUS_SKIPPED = "skipped"
+STATUS_QUARANTINED = "quarantined"
+
 
 @dataclass
 class CampaignReport:
-    """Outcome of one engine invocation."""
+    """Outcome of one engine invocation.
+
+    ``metrics`` is aligned with ``specs``; under the non-aborting failure
+    policies a failed cell's slot is ``None`` and the cell appears in
+    ``failed``.  ``statuses`` names how each spec was satisfied.
+    """
 
     specs: list[CellSpec]
-    metrics: list[RunMetrics]
+    metrics: list[RunMetrics | None]
     executed: int = 0  # cells handed to the executor
     cache_hits: int = 0  # cells served from the result store
     deduplicated: int = 0  # duplicate specs folded into one execution
+    resumed: int = 0  # cache hits that were journaled by an earlier run
+    failed: list[QuarantinedCell] = field(default_factory=list)
+    statuses: list[str] = field(default_factory=list)
+    manifest: str = ""  # campaign identity (journal manifest hash)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
 
     def by_label(self) -> dict[str, RunMetrics]:
-        return {s.label: m for s, m in zip(self.specs, self.metrics)}
+        """Label -> metrics for every *surviving* cell."""
+        return {
+            s.label: m for s, m in zip(self.specs, self.metrics) if m is not None
+        }
+
+    def completed_metrics(self) -> list[RunMetrics]:
+        return [m for m in self.metrics if m is not None]
 
 
 @dataclass
@@ -55,12 +107,22 @@ class CampaignEngine:
     executor: Executor = field(default_factory=SerialExecutor)
     store: ResultStore | None = None
     progress: ProgressCallback | None = None
+    failure_policy: FailurePolicy | str = FailurePolicy.ABORT
+    #: Append-only crash-safe record of this campaign's progress.
+    journal: CampaignJournal | None = None
+    #: Parsed journal of an interrupted earlier run to replay.
+    resume: JournalState | None = None
+    #: Cooperative shutdown token (set by graceful_shutdown's handlers).
+    cancel: ShutdownFlag | None = None
     # Running totals across invocations (useful for sweeps that call run()
     # once per point).
     total_executed: int = 0
     total_cache_hits: int = 0
+    #: Every cell quarantined or skipped across invocations.
+    quarantined: list[QuarantinedCell] = field(default_factory=list)
 
     def run(self, specs: Sequence[CellSpec]) -> CampaignReport:
+        policy = FailurePolicy.coerce(self.failure_policy)
         specs = list(specs)
         report = CampaignReport(specs=specs, metrics=[])
 
@@ -75,33 +137,49 @@ class CampaignEngine:
             else:
                 unique[h] = spec
 
+        report.manifest = manifest_hash(unique)
+        resume = self._validated_resume(report.manifest)
+        if self.journal is not None:
+            self.journal.begin(report.manifest, len(unique))
+
         payloads: dict[str, dict[str, Any]] = {}
+        failed: dict[str, QuarantinedCell] = {}
+        cached_hashes: set[str] = set()
+        resumed_hashes: set[str] = set()
         misses: list[tuple[str, CellSpec]] = []
         for h, spec in unique.items():
+            if h in resume.failed:
+                self._quarantine_from_journal(
+                    policy, spec, h, resume.failed[h], report, failed,
+                    len(payloads), len(unique),
+                )
+                continue
             cached = self.store.get(spec) if self.store is not None else None
             if cached is not None:
                 payloads[h] = cached
                 report.cache_hits += 1
+                if h in resume.done:
+                    report.resumed += 1
+                    resumed_hashes.add(h)
+                else:
+                    cached_hashes.add(h)
                 _emit(self.progress, ProgressEvent(
-                    "cached", spec, len(payloads), len(unique)
+                    "resumed" if h in resumed_hashes else "cached",
+                    spec, len(payloads), len(unique),
                 ))
             else:
+                if h in resume.done:
+                    _LOG.warning(
+                        "journal marks %s done but the store has no artifact; "
+                        "re-executing", spec.label,
+                    )
                 misses.append((h, spec))
 
         if misses:
-            try:
-                fresh = self.executor.run([s for _, s in misses], self.progress)
-            except CellExecutionError as exc:
-                # Persist the post-mortem (cause + full traceback) into the
-                # cell's failure artifact before surfacing the error.
-                if self.store is not None:
-                    self.store.put_failure(exc.spec, exc.cause, exc.traceback_text)
-                raise
+            self._execute_misses(
+                policy, misses, payloads, failed, report, len(unique)
+            )
             report.executed = len(misses)
-            for (h, spec), payload in zip(misses, fresh):
-                payloads[h] = payload
-                if self.store is not None:
-                    self.store.put(spec, payload)
 
         self.total_executed += report.executed
         self.total_cache_hits += report.cache_hits
@@ -109,8 +187,156 @@ class CampaignEngine:
         # parallel, cached), so results are representation-identical no
         # matter how a cell was obtained.
         decoded = {h: RunMetrics.from_dict(p["metrics"]) for h, p in payloads.items()}
-        report.metrics = [decoded[h] for h in order]
+        report.metrics = [decoded.get(h) for h in order]
+        failed_status = (
+            STATUS_QUARANTINED if policy is FailurePolicy.QUARANTINE
+            else STATUS_SKIPPED
+        )
+        for h in order:
+            if h in failed:
+                report.statuses.append(failed_status)
+            elif h in resumed_hashes:
+                report.statuses.append(STATUS_RESUMED)
+            elif h in cached_hashes:
+                report.statuses.append(STATUS_CACHED)
+            else:
+                report.statuses.append(STATUS_OK)
         return report
+
+    # --- resume ---------------------------------------------------------------
+
+    def _validated_resume(self, manifest: str) -> JournalState:
+        if self.resume is None:
+            return JournalState()
+        if self.resume.manifest is not None and self.resume.manifest != manifest:
+            raise JournalMismatch(
+                "the resume journal belongs to a different campaign "
+                f"(manifest {self.resume.manifest[:12]}… != {manifest[:12]}…)"
+            )
+        return self.resume
+
+    def _quarantine_from_journal(
+        self,
+        policy: FailurePolicy,
+        spec: CellSpec,
+        h: str,
+        cause: str,
+        report: CampaignReport,
+        failed: dict[str, QuarantinedCell],
+        completed: int,
+        total: int,
+    ) -> None:
+        """A journaled permanent failure: report it without re-executing."""
+        if policy is FailurePolicy.ABORT:
+            raise CellExecutionError(spec, f"quarantined by resumed journal: {cause}")
+        cell = QuarantinedCell(spec, cause, attempts=0, from_journal=True)
+        failed[h] = cell
+        report.failed.append(cell)
+        self.quarantined.append(cell)
+        _emit(self.progress, ProgressEvent(
+            "quarantined", spec, completed, total, error=cause,
+        ))
+
+    # --- execution ------------------------------------------------------------
+
+    def _execute_misses(
+        self,
+        policy: FailurePolicy,
+        misses: list[tuple[str, CellSpec]],
+        payloads: dict[str, dict[str, Any]],
+        failed: dict[str, QuarantinedCell],
+        report: CampaignReport,
+        total: int,
+    ) -> None:
+        miss_hashes = [h for h, _ in misses]
+
+        def on_result(index: int, spec: CellSpec, payload: dict[str, Any]) -> None:
+            # Persist the instant a cell lands: crash-safety of the journal
+            # depends on never holding finished work only in memory.
+            self._store_put(spec, payload)
+            if self.journal is not None:
+                self.journal.record_done(miss_hashes[index], spec.label)
+
+        def on_failure(index: int, spec: CellSpec, failure: CellFailure) -> None:
+            cell = QuarantinedCell(
+                spec, failure.cause, failure.traceback_text, failure.attempts
+            )
+            failed[miss_hashes[index]] = cell
+            report.failed.append(cell)
+            self.quarantined.append(cell)
+            if policy is FailurePolicy.QUARANTINE:
+                self._store_put_failure(spec, failure)
+                if self.journal is not None:
+                    self.journal.record_failed(
+                        miss_hashes[index], failure.cause, spec.label
+                    )
+            _emit(self.progress, ProgressEvent(
+                "quarantined" if policy is FailurePolicy.QUARANTINE else "failed",
+                spec, report.cache_hits, total, error=failure.cause,
+            ))
+
+        try:
+            outcomes = self.executor.run(
+                [s for _, s in misses],
+                self.progress,
+                failure_mode=(
+                    "raise" if policy is FailurePolicy.ABORT else "collect"
+                ),
+                cancel=self.cancel,
+                completed_offset=report.cache_hits,
+                campaign_total=total,
+                on_result=on_result,
+                on_failure=on_failure,
+            )
+        except CellExecutionError as exc:
+            # Persist the post-mortem (cause + full traceback) into the
+            # cell's failure artifact before surfacing the error.
+            if self.store is not None:
+                self.store.put_failure(exc.spec, exc.cause, exc.traceback_text)
+            if self.journal is not None:
+                self.journal.record_failed(
+                    exc.spec.content_hash(), exc.cause, exc.spec.label
+                )
+                self.journal.sync()
+            raise
+        except ExecutorInterrupted as exc:
+            if self.journal is not None:
+                self.journal.record_interrupted(exc.reason)
+                self.journal.sync()
+            raise CampaignInterrupted(
+                exc.reason,
+                completed=report.cache_hits + exc.completed,
+                total=total,
+                journal_path=(
+                    self.journal.path if self.journal is not None else None
+                ),
+            ) from exc
+        for (h, _spec), outcome in zip(misses, outcomes):
+            if isinstance(outcome, CellFailure):
+                continue  # already recorded through on_failure
+            payloads[h] = outcome
+
+    # --- guarded persistence --------------------------------------------------
+
+    def _store_put(self, spec: CellSpec, payload: dict[str, Any]) -> None:
+        """Cache writes must never kill a campaign (ENOSPC et al. degrade
+        to a warning: the result still reaches the report, only the cache
+        misses out)."""
+        if self.store is None:
+            return
+        try:
+            self.store.put(spec, payload)
+        except OSError as exc:
+            _LOG.warning("result-cache write failed for %s: %s", spec.label, exc)
+
+    def _store_put_failure(self, spec: CellSpec, failure: CellFailure) -> None:
+        if self.store is None:
+            return
+        try:
+            self.store.put_failure(spec, failure.cause, failure.traceback_text)
+        except OSError as exc:
+            _LOG.warning("failure-artifact write failed for %s: %s",
+                         spec.label, exc)
 
 
 def run_cells(
@@ -125,4 +351,5 @@ def run_cells(
         store=store,
         progress=progress,
     )
-    return engine.run(specs).metrics
+    metrics = engine.run(specs).metrics
+    return [m for m in metrics if m is not None]

@@ -6,24 +6,51 @@ aligned with *specs*.  Cells are independent pure functions of their spec,
 so the executor choice can never change results — only wall-clock time.
 
 Failure policy: a cell that raises or crashes its worker is retried
-(``retries`` times, default once); a cell that still fails raises
-:class:`CellExecutionError`.  The parallel executor additionally enforces
-a per-cell wall-clock ``timeout_s``: an overdue cell is abandoned (its
-late result, if any, is discarded) and charged a failed attempt.
+(``retries`` times, default once) with deterministic exponential backoff
+(:class:`~repro.exec.resilience.BackoffPolicy`); a cell that still fails
+either raises :class:`CellExecutionError` (``failure_mode="raise"``, the
+default) or — under ``failure_mode="collect"`` — fills its result slot
+with a :class:`~repro.exec.resilience.CellFailure` so the surviving cells
+complete.  Both executors enforce a per-cell wall-clock ``timeout_s``: the
+parallel executor abandons an overdue cell (its late result, if any, is
+discarded); the serial executor, which cannot preempt a running cell,
+checks the deadline *between* attempts, so a hung cell's retry loop still
+fails consistently (the remaining limitation — a single hung attempt
+blocks until it returns — is documented in docs/resilience.md).
+
+Graceful shutdown: when a :class:`~repro.exec.resilience.ShutdownFlag` is
+set (usually by the SIGINT/SIGTERM handlers), the executors stop
+dispatching, drain in-flight cells, and raise
+:class:`~repro.exec.resilience.ExecutorInterrupted`.  Every completed
+cell was already reported through ``on_result``, so nothing finished is
+lost.
+
+Progress accounting is campaign-wide: the engine passes
+``completed_offset`` (cache hits served before this batch) and
+``campaign_total`` (the full deduplicated cell count), so a consumer
+watching ``completed/total`` sees one stable denominator for the whole
+campaign, never a shrinking one.
 """
 
 from __future__ import annotations
 
+import heapq
 import os
 import time
 import traceback
-from collections import deque
 from collections.abc import Callable, Sequence
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
-from typing import Any, Protocol
+from dataclasses import dataclass, field
+from typing import Any, Protocol, Union
 
+from repro.exec.resilience import (
+    BackoffPolicy,
+    CellFailure,
+    ExecutorInterrupted,
+    NO_BACKOFF,
+    ShutdownFlag,
+)
 from repro.exec.spec import CellSpec
 from repro.exec.worker import execute_cell_payload
 
@@ -43,6 +70,15 @@ CELL_FAILURE_TYPES = (
     ValueError,
 )
 
+#: One result slot: the artifact payload, or (collect mode) the failure.
+CellOutcome = Union[dict[str, Any], CellFailure]
+
+#: Hooks the engine uses to persist work the moment it lands: called with
+#: ``(index, spec, payload | CellFailure)`` as each cell resolves, in the
+#: executor's own process — this is what makes the journal crash-safe.
+ResultHook = Callable[[int, CellSpec, dict[str, Any]], None]
+FailureHook = Callable[[int, CellSpec, CellFailure], None]
+
 
 def _format_traceback(exc: BaseException) -> str:
     """Full traceback text, including chained causes — for a cell that
@@ -54,11 +90,13 @@ def _format_traceback(exc: BaseException) -> str:
 class ProgressEvent:
     """One progress callback: a cell started, finished, retried or failed."""
 
-    kind: str  # "start" | "done" | "retry" | "failed" | "cached"
+    # "start" | "done" | "retry" | "backoff" | "failed" | "cached"
+    # | "resumed" | "quarantined"
+    kind: str
     spec: CellSpec
-    completed: int  # cells finished so far (cache hits included)
-    total: int
-    seconds: float = 0.0  # cell runtime, for "done" events
+    completed: int  # campaign-wide cells finished so far (cache hits included)
+    total: int  # campaign-wide denominator; stable for the whole run
+    seconds: float = 0.0  # cell runtime ("done") or planned delay ("backoff")
     error: str = ""  # failure description, for "retry"/"failed" events
     traceback: str = ""  # full traceback text, for "retry"/"failed" events
     # Monotonic wall-clock seconds from the attempt's dispatch to this
@@ -66,6 +104,8 @@ class ProgressEvent:
     # Unlike ``seconds`` (the worker's self-reported payload runtime) this
     # includes dispatch/pickling overhead and is present for failures.
     duration_s: float = 0.0
+    # 1-based attempt number for "retry"/"backoff"/"failed" events.
+    attempt: int = 0
 
 
 class CellExecutionError(RuntimeError):
@@ -88,7 +128,15 @@ class Executor(Protocol):
         self,
         specs: Sequence[CellSpec],
         progress: ProgressCallback | None = None,
-    ) -> list[dict[str, Any]]: ...
+        fn: Callable[[CellSpec], dict[str, Any]] | None = None,
+        *,
+        failure_mode: str = "raise",
+        cancel: ShutdownFlag | None = None,
+        completed_offset: int = 0,
+        campaign_total: int | None = None,
+        on_result: ResultHook | None = None,
+        on_failure: FailureHook | None = None,
+    ) -> list[CellOutcome]: ...
 
 
 def _emit(progress: ProgressCallback | None, event: ProgressEvent) -> None:
@@ -96,49 +144,124 @@ def _emit(progress: ProgressCallback | None, event: ProgressEvent) -> None:
         progress(event)
 
 
+def _check_cancel(cancel: ShutdownFlag | None, completed: int) -> None:
+    if cancel is not None and cancel.is_set():
+        raise ExecutorInterrupted(cancel.reason, completed=completed)
+
+
 @dataclass
 class SerialExecutor:
     """Runs cells one after another in the calling process."""
 
     retries: int = 1
+    #: Post-hoc wall-clock budget per attempt.  The serial executor cannot
+    #: preempt a running cell; an attempt that returns (or raises) after
+    #: the deadline is charged as a timeout and its result discarded, so a
+    #: hung cell fails consistently with the parallel executor once it
+    #: yields control.
+    timeout_s: float | None = None
+    backoff: BackoffPolicy = field(default_factory=lambda: NO_BACKOFF)
+    fn: Callable[[CellSpec], dict[str, Any]] = execute_cell_payload
+    sleep: Callable[[float], None] = time.sleep
 
     def run(
         self,
         specs: Sequence[CellSpec],
         progress: ProgressCallback | None = None,
-        fn: Callable[[CellSpec], dict[str, Any]] = execute_cell_payload,
-    ) -> list[dict[str, Any]]:
-        results: list[dict[str, Any]] = []
-        total = len(specs)
+        fn: Callable[[CellSpec], dict[str, Any]] | None = None,
+        *,
+        failure_mode: str = "raise",
+        cancel: ShutdownFlag | None = None,
+        completed_offset: int = 0,
+        campaign_total: int | None = None,
+        on_result: ResultHook | None = None,
+        on_failure: FailureHook | None = None,
+    ) -> list[CellOutcome]:
+        fn = fn if fn is not None else self.fn
+        results: list[CellOutcome] = []
+        total = campaign_total if campaign_total is not None else len(specs)
+        completed = completed_offset
         for i, spec in enumerate(specs):
-            _emit(progress, ProgressEvent("start", spec, i, total))
-            last_error = ""
-            for attempt in range(self.retries + 1):
-                began = time.monotonic()
-                try:
-                    payload = fn(spec)
-                    break
-                except CELL_FAILURE_TYPES as exc:
-                    elapsed = time.monotonic() - began
-                    last_error = f"{type(exc).__name__}: {exc}"
-                    tb = _format_traceback(exc)
-                    if attempt >= self.retries:
-                        _emit(progress, ProgressEvent(
-                            "failed", spec, i, total, error=last_error,
-                            traceback=tb, duration_s=elapsed,
-                        ))
-                        raise CellExecutionError(spec, last_error, tb) from exc
-                    _emit(progress, ProgressEvent(
-                        "retry", spec, i, total, error=last_error, traceback=tb,
-                        duration_s=elapsed,
-                    ))
-            results.append(payload)
-            _emit(progress, ProgressEvent(
-                "done", spec, i + 1, total,
-                seconds=float(payload.get("runtime_seconds", 0.0)),
-                duration_s=time.monotonic() - began,
-            ))
+            # ExecutorInterrupted.completed counts this batch only; the
+            # engine adds the cache hits back (parallel parity).
+            _check_cancel(cancel, completed - completed_offset)
+            _emit(progress, ProgressEvent("start", spec, completed, total))
+            outcome, elapsed = self._run_one(
+                i, spec, fn, progress, completed, total,
+                failure_mode, cancel, completed_offset, on_result, on_failure,
+            )
+            if isinstance(outcome, dict):
+                completed += 1
+                _emit(progress, ProgressEvent(
+                    "done", spec, completed, total,
+                    seconds=float(outcome.get("runtime_seconds", 0.0)),
+                    duration_s=elapsed,
+                ))
+            results.append(outcome)
         return results
+
+    def _run_one(
+        self,
+        index: int,
+        spec: CellSpec,
+        fn: Callable[[CellSpec], dict[str, Any]],
+        progress: ProgressCallback | None,
+        completed: int,
+        total: int,
+        failure_mode: str,
+        cancel: ShutdownFlag | None,
+        completed_offset: int,
+        on_result: ResultHook | None,
+        on_failure: FailureHook | None,
+    ) -> tuple[CellOutcome, float]:
+        spec_hash = spec.content_hash()
+        last_error = ""
+        last_tb = ""
+        for attempt in range(1, self.retries + 2):
+            began = time.monotonic()
+            payload: dict[str, Any] | None = None
+            try:
+                payload = fn(spec)
+            except CELL_FAILURE_TYPES as exc:
+                elapsed = time.monotonic() - began
+                last_error = f"{type(exc).__name__}: {exc}"
+                last_tb = _format_traceback(exc)
+            else:
+                elapsed = time.monotonic() - began
+                if self.timeout_s is not None and elapsed >= self.timeout_s:
+                    # Post-hoc deadline: parity with the parallel executor's
+                    # abandonment — the overdue result is discarded.
+                    payload = None
+                    last_error = f"timed out after {self.timeout_s:.1f}s"
+                    last_tb = ""
+            if payload is not None:
+                if on_result is not None:
+                    on_result(index, spec, payload)
+                return payload, elapsed
+            if attempt > self.retries:
+                _emit(progress, ProgressEvent(
+                    "failed", spec, completed, total, error=last_error,
+                    traceback=last_tb, duration_s=elapsed, attempt=attempt,
+                ))
+                failure = CellFailure(spec, last_error, last_tb, attempts=attempt)
+                if failure_mode == "collect":
+                    if on_failure is not None:
+                        on_failure(index, spec, failure)
+                    return failure, elapsed
+                raise CellExecutionError(spec, last_error, last_tb)
+            _emit(progress, ProgressEvent(
+                "retry", spec, completed, total, error=last_error,
+                traceback=last_tb, duration_s=elapsed, attempt=attempt,
+            ))
+            _check_cancel(cancel, completed - completed_offset)
+            delay = self.backoff.delay_s(spec_hash, attempt)
+            if delay > 0.0:
+                _emit(progress, ProgressEvent(
+                    "backoff", spec, completed, total,
+                    seconds=delay, attempt=attempt,
+                ))
+                self.sleep(delay)
+        raise AssertionError("unreachable: retry loop always resolves")
 
 
 class ParallelExecutor:
@@ -151,7 +274,7 @@ class ParallelExecutor:
     A worker crash breaks the whole pool (every in-flight future raises
     ``BrokenProcessPool``); the pool is rebuilt and each in-flight cell is
     charged one failed attempt — the crasher exhausts its retry and
-    surfaces as :class:`CellExecutionError`, innocents get re-run.
+    surfaces as a failure, innocents get re-run.
     """
 
     def __init__(
@@ -159,46 +282,93 @@ class ParallelExecutor:
         jobs: int | None = None,
         timeout_s: float | None = None,
         retries: int = 1,
+        backoff: BackoffPolicy | None = None,
+        fn: Callable[[CellSpec], dict[str, Any]] = execute_cell_payload,
+        sleep: Callable[[float], None] = time.sleep,
     ):
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.timeout_s = timeout_s
         self.retries = retries
+        self.backoff = backoff if backoff is not None else NO_BACKOFF
+        self.fn = fn
+        self.sleep = sleep  # unused; dispatch delays ride the wait timeout
 
     def run(
         self,
         specs: Sequence[CellSpec],
         progress: ProgressCallback | None = None,
-        fn: Callable[[CellSpec], dict[str, Any]] = execute_cell_payload,
-    ) -> list[dict[str, Any]]:
-        total = len(specs)
-        results: list[dict[str, Any] | None] = [None] * total
-        attempts = [0] * total
-        pending: deque[int] = deque(range(total))
+        fn: Callable[[CellSpec], dict[str, Any]] | None = None,
+        *,
+        failure_mode: str = "raise",
+        cancel: ShutdownFlag | None = None,
+        completed_offset: int = 0,
+        campaign_total: int | None = None,
+        on_result: ResultHook | None = None,
+        on_failure: FailureHook | None = None,
+    ) -> list[CellOutcome]:
+        fn = fn if fn is not None else self.fn
+        total = campaign_total if campaign_total is not None else len(specs)
+        results: list[CellOutcome | None] = [None] * len(specs)
+        attempts = [0] * len(specs)
+        hashes = [s.content_hash() for s in specs]
+        # Min-heap of (ready_at, idx): backoff delays re-dispatch without
+        # blocking the event loop.
+        pending: list[tuple[float, int]] = [(0.0, i) for i in range(len(specs))]
+        heapq.heapify(pending)
         # future -> (index, deadline or None, monotonic submit time)
         inflight: dict[Future[dict[str, Any]], tuple[int, float | None, float]] = {}
         # timed-out futures whose results we discard
         abandoned: set[Future[dict[str, Any]]] = set()
-        completed = 0
+        completed = completed_offset
+        draining = False
         pool = ProcessPoolExecutor(max_workers=self.jobs)
 
         def fail(idx: int, cause: str, tb: str = "", duration_s: float = 0.0) -> None:
+            if draining:
+                # Shutdown drain: the cell stays unfinished (the journal has
+                # no record for it), so a resumed run re-executes it.
+                return
             if attempts[idx] <= self.retries:
                 _emit(progress, ProgressEvent(
                     "retry", specs[idx], completed, total, error=cause,
-                    traceback=tb, duration_s=duration_s,
+                    traceback=tb, duration_s=duration_s, attempt=attempts[idx],
                 ))
-                pending.append(idx)
+                delay = self.backoff.delay_s(hashes[idx], attempts[idx])
+                if delay > 0.0:
+                    _emit(progress, ProgressEvent(
+                        "backoff", specs[idx], completed, total,
+                        seconds=delay, attempt=attempts[idx],
+                    ))
+                heapq.heappush(pending, (time.monotonic() + delay, idx))
             else:
                 _emit(progress, ProgressEvent(
                     "failed", specs[idx], completed, total, error=cause,
-                    traceback=tb, duration_s=duration_s,
+                    traceback=tb, duration_s=duration_s, attempt=attempts[idx],
                 ))
+                failure = CellFailure(
+                    specs[idx], cause, tb, attempts=attempts[idx]
+                )
+                if failure_mode == "collect":
+                    results[idx] = failure
+                    if on_failure is not None:
+                        on_failure(idx, specs[idx], failure)
+                    return
                 raise CellExecutionError(specs[idx], cause, tb)
 
         try:
             while pending or inflight:
-                while pending and len(inflight) < self.jobs:
-                    idx = pending.popleft()
+                if cancel is not None and cancel.is_set() and not draining:
+                    draining = True
+                    pending.clear()  # undispatched cells stay unfinished
+                    if not inflight:
+                        break
+                now = time.monotonic()
+                while (
+                    pending
+                    and len(inflight) < self.jobs
+                    and pending[0][0] <= now
+                ):
+                    _, idx = heapq.heappop(pending)
                     if attempts[idx] == 0:
                         _emit(progress, ProgressEvent(
                             "start", specs[idx], completed, total
@@ -211,11 +381,24 @@ class ParallelExecutor:
                     )
                     inflight[pool.submit(fn, specs[idx])] = (idx, deadline, submitted)
 
-                wait_timeout = None
+                if not pending and not inflight:
+                    break
+                waits: list[float] = []
                 if self.timeout_s is not None:
-                    deadlines = [d for _, d, _ in inflight.values() if d is not None]
-                    if deadlines:
-                        wait_timeout = max(0.0, min(deadlines) - time.monotonic())
+                    waits.extend(
+                        d - time.monotonic()
+                        for _, d, _ in inflight.values() if d is not None
+                    )
+                if pending and len(inflight) < self.jobs:
+                    waits.append(pending[0][0] - time.monotonic())
+                if cancel is not None:
+                    waits.append(0.2)  # poll the shutdown flag
+                wait_timeout = max(0.0, min(waits)) if waits else None
+                if not inflight and not abandoned:
+                    # Nothing to wait on — only a future dispatch time.
+                    if wait_timeout:
+                        time.sleep(wait_timeout)
+                    continue
                 done, _ = wait(
                     set(inflight) | abandoned,
                     timeout=wait_timeout,
@@ -243,6 +426,8 @@ class ParallelExecutor:
                     else:
                         results[idx] = payload
                         completed += 1
+                        if on_result is not None:
+                            on_result(idx, specs[idx], payload)
                         _emit(progress, ProgressEvent(
                             "done", specs[idx], completed, total,
                             seconds=float(payload.get("runtime_seconds", 0.0)),
@@ -273,4 +458,9 @@ class ParallelExecutor:
                                  duration_s=now - submitted)
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
-        return results  # type: ignore[return-value]  # every slot filled above
+        if draining:
+            raise ExecutorInterrupted(
+                cancel.reason if cancel is not None else "",
+                completed=completed - completed_offset,
+            )
+        return results  # type: ignore[return-value]  # every slot resolved above

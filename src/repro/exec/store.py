@@ -13,16 +13,50 @@ a broken cache can cost time but never wrong results.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.config import canonical_json
 from repro.exec.spec import CellSpec
 
 #: Artifact schema; bump on incompatible layout changes.
 STORE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One artifact inspected by :meth:`ResultStore.audit`."""
+
+    path: Path
+    spec_hash: str  # from the filename
+    kind: str  # "result" | "failure"
+    problem: str = ""  # empty when healthy
+
+    @property
+    def healthy(self) -> bool:
+        return not self.problem
+
+
+@dataclass
+class StoreAudit:
+    """Outcome of one full store verification pass."""
+
+    checked: int = 0
+    healthy: int = 0
+    corrupt: list[AuditEntry] = field(default_factory=list)
+    #: Failure post-mortems whose cell has since succeeded (a healthy
+    #: result artifact exists for the same hash) — history, prunable.
+    stale_failures: list[AuditEntry] = field(default_factory=list)
+    failures: int = 0  # failure artifacts seen (stale or not)
+
+    @property
+    def ok(self) -> bool:
+        return not self.corrupt
 
 
 def default_cache_dir() -> Path:
@@ -122,3 +156,103 @@ class ResultStore:
                 pass
             raise
         return path
+
+    # --- maintenance (the `repro cache` subcommand) ---------------------------
+
+    def _artifact_paths(self) -> list[Path]:
+        # The journal is .jsonl, tmp files are .tmp; both fall outside.
+        return sorted(self.cache_dir.rglob("*.json"))
+
+    def _check_result_artifact(self, path: Path, stem_hash: str) -> str:
+        """Problem description for one result artifact, or "" if healthy.
+
+        Re-hashes the embedded canonical spec, so bit-rot anywhere in the
+        file — not just in the JSON framing — is caught.
+        """
+        try:
+            artifact = json.loads(path.read_text())
+        except OSError as exc:
+            return f"unreadable: {exc}"
+        except ValueError:
+            return "unparsable JSON"
+        if not isinstance(artifact, dict):
+            return "not a JSON object"
+        if artifact.get("schema") != STORE_SCHEMA_VERSION:
+            return f"schema {artifact.get('schema')!r} != {STORE_SCHEMA_VERSION}"
+        spec = artifact.get("spec")
+        if not isinstance(spec, dict):
+            return "missing embedded spec"
+        rehashed = hashlib.sha256(
+            canonical_json(spec).encode("utf-8")
+        ).hexdigest()
+        if rehashed != stem_hash:
+            return f"content hash mismatch (re-hash {rehashed[:12]}…)"
+        payload = artifact.get("payload")
+        if not isinstance(payload, dict) or "metrics" not in payload:
+            return "payload missing metrics"
+        return ""
+
+    def _check_failure_artifact(self, path: Path) -> str:
+        try:
+            artifact = json.loads(path.read_text())
+        except OSError as exc:
+            return f"unreadable: {exc}"
+        except ValueError:
+            return "unparsable JSON"
+        if not isinstance(artifact, dict) or artifact.get("kind") != "failure":
+            return "not a failure post-mortem"
+        return ""
+
+    def audit(self) -> StoreAudit:
+        """Verify every artifact: re-hash results, classify failures."""
+        audit = StoreAudit()
+        for path in self._artifact_paths():
+            name = path.name
+            if name.endswith(".failure.json"):
+                stem = name[: -len(".failure.json")]
+                entry = AuditEntry(
+                    path, stem, "failure", self._check_failure_artifact(path)
+                )
+                audit.checked += 1
+                audit.failures += 1
+                if not entry.healthy:
+                    audit.corrupt.append(entry)
+                elif (path.parent / f"{stem}.json").exists():
+                    audit.stale_failures.append(entry)
+                else:
+                    audit.healthy += 1
+                continue
+            stem = path.stem
+            entry = AuditEntry(
+                path, stem, "result", self._check_result_artifact(path, stem)
+            )
+            audit.checked += 1
+            if entry.healthy:
+                audit.healthy += 1
+            else:
+                audit.corrupt.append(entry)
+        return audit
+
+    def prune(self) -> tuple[int, int]:
+        """Drop corrupt entries and stale failure post-mortems.
+
+        Returns ``(corrupt_removed, stale_failures_removed)``.  Corrupt
+        results would be treated as misses anyway; pruning just reclaims
+        the disk and silences ``verify``.
+        """
+        audit = self.audit()
+        removed_corrupt = 0
+        removed_stale = 0
+        for entry in audit.corrupt:
+            try:
+                entry.path.unlink()
+                removed_corrupt += 1
+            except OSError:
+                pass
+        for entry in audit.stale_failures:
+            try:
+                entry.path.unlink()
+                removed_stale += 1
+            except OSError:
+                pass
+        return removed_corrupt, removed_stale

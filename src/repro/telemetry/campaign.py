@@ -1,11 +1,14 @@
 """Campaign-level structured logging: the executor progress-event sink.
 
 The execution engine reports cell lifecycle through ``ProgressEvent``
-callbacks (start / done / cached / retry / failed).  The sink here turns
-that stream into an append-only JSONL log persisted next to the result
-store's artifacts, so a campaign leaves a durable, machine-readable record
-of what ran, how long each cell took, and what failed — without the CLI
-having to re-clock anything.
+callbacks (start / done / cached / resumed / retry / backoff / failed /
+quarantined).  The sink here turns that stream into an append-only JSONL
+log persisted next to the result store's artifacts, so a campaign leaves
+a durable, machine-readable record of what ran, how long each cell took,
+what backed off, what was replayed from a resumed journal, and what was
+quarantined — without the CLI having to re-clock anything.  (The campaign
+*journal* is separate: it is the minimal crash-safe resume substrate,
+while this log is the full observability stream; see docs/resilience.md.)
 
 The sink is deliberately *duck-typed* over the event object (it reads
 ``kind``/``completed``/``total``/``duration_s``/... by ``getattr``): the
@@ -49,6 +52,9 @@ def describe_progress_event(event: ProgressLike) -> dict[str, Any]:
     error = getattr(event, "error", "")
     if error:
         record["error"] = error
+    attempt = int(getattr(event, "attempt", 0))
+    if attempt:
+        record["attempt"] = attempt
     hasher = getattr(spec, "content_hash", None)
     if callable(hasher):
         record["spec_hash"] = hasher()
@@ -72,12 +78,12 @@ class CampaignTraceSink:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = self.path.open("a", encoding="utf-8")
-        self._epoch = time.monotonic()
+        self._epoch = time.monotonic()  # noqa: NOC105 -- diagnostic campaign-altitude timestamp, never simulated state
         self.events_written = 0
 
     def __call__(self, event: ProgressLike) -> None:
         record = describe_progress_event(event)
-        record["t_s"] = round(time.monotonic() - self._epoch, 6)
+        record["t_s"] = round(time.monotonic() - self._epoch, 6)  # noqa: NOC105 -- diagnostic campaign-altitude timestamp, never simulated state
         self._fh.write(json.dumps(record, sort_keys=True))
         self._fh.write("\n")
         self._fh.flush()

@@ -1,0 +1,24 @@
+"""Fixture: NOC105 — sleep/timer calls inside a simulation package.
+
+Simulation time is the cycle counter; real-time waits and monotonic
+timestamps smuggle wall-clock behavior into what must stay a pure,
+cycle-driven state machine.
+"""
+
+import time
+
+
+class Router:
+    def __init__(self):
+        self.cycle = 0
+
+    def stall(self):
+        time.sleep(0.01)  # NOC105: real-time wait inside the simulator
+
+    def stamp(self):
+        return time.monotonic()  # NOC105: wall-clock read inside the simulator
+
+    def step(self):
+        # Clean: advancing the cycle counter is how simulated time moves.
+        self.cycle += 1
+        return self.cycle

@@ -21,6 +21,7 @@ FIXTURE_RULES = {
     "noc102_clock.py": "NOC102",
     "noc103_set_iter.py": "NOC103",
     "noc104_mutable_default.py": "NOC104",
+    "repro/noc/noc105_sleep.py": "NOC105",
     "repro/noc/noc201_layering.py": "NOC201",
     "repro/exec/spec.py": "NOC202",
     "noc301_bare_except.py": "NOC301",
@@ -53,6 +54,7 @@ class TestFixtures:
             "noc102_clock.py": 3,  # time.time + datetime.now + os.urandom
             "noc103_set_iter.py": 3,  # literal, local var, self attribute
             "noc104_mutable_default.py": 3,
+            "repro/noc/noc105_sleep.py": 2,  # time.sleep + time.monotonic
             "noc301_bare_except.py": 1,
             "noc302_float_eq.py": 2,  # == and != float constants
             "noc000_reasonless_noqa.py": 1,

@@ -111,3 +111,94 @@ class TestEngineOptions:
                    "--no-cache"])
         assert rc == 0
         assert "Fig. 10" in capsys.readouterr().out
+
+
+class TestResilienceOptions:
+    def test_campaign_resilience_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.failure_policy == "abort"
+        assert args.timeout is None
+        assert args.journal is None
+        assert args.resume is None
+
+    def test_campaign_accepts_resilience_flags(self):
+        args = build_parser().parse_args(
+            ["campaign", "--failure-policy", "quarantine",
+             "--timeout", "5.5", "--journal", "c.jsonl"]
+        )
+        assert args.failure_policy == "quarantine"
+        assert args.timeout == 5.5
+        assert args.journal == "c.jsonl"
+
+    def test_unknown_failure_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "--failure-policy", "explode"]
+            )
+
+    def test_campaign_journal_then_resume(self, tmp_path, capsys):
+        journal = tmp_path / "c.jsonl"
+        base = ["campaign", "--benchmarks", "swa", "--duration", "600",
+                "--pretrain", "0", "--figures", "speedup", "--seed", "2",
+                "--cache-dir", str(tmp_path / "cache")]
+        rc = main(base + ["--journal", str(journal)])
+        first = capsys.readouterr().out
+        assert rc == 0
+        assert journal.exists()
+        # Resuming a *finished* campaign re-executes nothing and reprints
+        # the same tables from the journal + cache.
+        rc = main(base + ["--resume", str(journal)])
+        second = capsys.readouterr().out
+        assert rc == 0
+        assert first == second
+
+    def test_resume_foreign_journal_is_a_config_error(self, tmp_path, capsys):
+        journal = tmp_path / "c.jsonl"
+        base = ["campaign", "--benchmarks", "swa", "--duration", "600",
+                "--pretrain", "0", "--figures", "speedup", "--seed", "2",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(base + ["--journal", str(journal)]) == 0
+        capsys.readouterr()
+        # Same journal, different campaign (other seed): manifest mismatch.
+        rc = main(["campaign", "--benchmarks", "swa", "--duration", "600",
+                   "--pretrain", "0", "--figures", "speedup", "--seed", "3",
+                   "--cache-dir", str(tmp_path / "cache"),
+                   "--resume", str(journal)])
+        assert rc == 2
+
+
+class TestCacheCommand:
+    def _seed_store(self, cache_dir):
+        from repro.config import SECDED_BASELINE
+        from repro.exec.spec import parsec_cell
+        from repro.exec.store import ResultStore
+
+        store = ResultStore(cache_dir)
+        spec = parsec_cell(SECDED_BASELINE, "swa", 1000, seed=7)
+        store.put(spec, {"metrics": {"stub": True}})
+        return store, spec
+
+    def test_verify_healthy_cache_exits_zero(self, tmp_path, capsys):
+        self._seed_store(tmp_path / "cache")
+        rc = main(["cache", "verify", "--cache-dir", str(tmp_path / "cache")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "1 healthy" in out
+
+    def test_verify_corrupt_cache_exits_one(self, tmp_path, capsys):
+        store, spec = self._seed_store(tmp_path / "cache")
+        store.path_for(spec).write_text("{broken")
+        rc = main(["cache", "verify", "--cache-dir", str(tmp_path / "cache")])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "1 corrupt" in out
+
+    def test_prune_heals_the_cache(self, tmp_path, capsys):
+        store, spec = self._seed_store(tmp_path / "cache")
+        store.path_for(spec).write_text("{broken")
+        rc = main(["cache", "prune", "--cache-dir", str(tmp_path / "cache")])
+        assert rc == 0
+        assert "pruned 1 corrupt" in capsys.readouterr().out
+        assert main(
+            ["cache", "verify", "--cache-dir", str(tmp_path / "cache")]
+        ) == 0

@@ -1,12 +1,38 @@
-"""Engine: serial/parallel equivalence, caching, dedup, corruption recovery."""
+"""Engine: serial/parallel equivalence, caching, dedup, corruption recovery,
+failure policies, journaling and resume."""
 
 import pytest
 
 from repro.config import FaultConfig, INTELLINOC, SECDED_BASELINE
 from repro.exec.engine import CampaignEngine, run_cells
-from repro.exec.executors import ParallelExecutor, SerialExecutor
+from repro.exec.executors import (
+    CellExecutionError,
+    ParallelExecutor,
+    SerialExecutor,
+)
+from repro.exec.resilience import (
+    CampaignInterrupted,
+    CampaignJournal,
+    JournalMismatch,
+    ShutdownFlag,
+    load_journal,
+)
 from repro.exec.spec import parsec_cell
 from repro.exec.store import ResultStore
+from repro.exec.worker import execute_cell_payload
+
+
+def _fail_seed10_cell(spec):
+    if spec.seed == 10:
+        raise RuntimeError("doomed cell")
+    return execute_cell_payload(spec)
+
+
+def small_specs(n=2, duration=500):
+    return [
+        parsec_cell(SECDED_BASELINE, "swa", duration, seed=10 + i)
+        for i in range(n)
+    ]
 
 
 def campaign_specs():
@@ -99,3 +125,196 @@ class TestDedup:
         assert report.executed == 1
         assert report.deduplicated == 2
         assert report.metrics[0] == report.metrics[1] == report.metrics[2]
+
+
+class TestFailurePolicies:
+    def _engine(self, policy, store=None, **kwargs):
+        return CampaignEngine(
+            executor=SerialExecutor(retries=0, fn=_fail_seed10_cell),
+            store=store,
+            failure_policy=policy,
+            **kwargs,
+        )
+
+    def test_abort_raises(self):
+        with pytest.raises(CellExecutionError, match="doomed cell"):
+            self._engine("abort").run(small_specs())
+
+    def test_quarantine_degrades_to_partial_results(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        specs = small_specs()
+        report = self._engine("quarantine", store).run(specs)
+        assert report.metrics[0] is None
+        assert report.metrics[1] is not None
+        assert not report.ok
+        assert len(report.failed) == 1
+        assert report.failed[0].cause == "RuntimeError: doomed cell"
+        assert report.statuses == ["quarantined", "ok"]
+        # The failure is a persisted post-mortem; the survivor is cached.
+        assert store.failure_path_for(specs[0]).exists()
+        assert store.get(specs[1]) is not None
+        assert report.by_label() == {specs[1].label: report.metrics[1]}
+        assert report.completed_metrics() == [report.metrics[1]]
+
+    def test_skip_persists_nothing_for_the_failed_cell(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        specs = small_specs()
+        report = self._engine("skip", store).run(specs)
+        assert report.statuses == ["skipped", "ok"]
+        assert not store.failure_path_for(specs[0]).exists()
+        # A later run retries the skipped cell from scratch.
+        rerun = self._engine("skip", store).run(specs)
+        assert rerun.executed == 1
+        assert rerun.cache_hits == 1
+
+    def test_quarantined_accumulates_across_runs(self, tmp_path):
+        engine = self._engine("quarantine")
+        engine.run(small_specs())
+        engine.run(small_specs(duration=501))
+        assert len(engine.quarantined) == 2
+
+    def test_quarantine_events_emitted(self):
+        events = []
+        engine = self._engine("quarantine")
+        engine.progress = events.append
+        engine.run(small_specs())
+        assert [e.kind for e in events if e.kind == "quarantined"] != []
+
+
+class TestStoreWriteFailure:
+    def test_cache_write_failure_degrades_to_a_warning(self, tmp_path):
+        class ENOSPCStore(ResultStore):
+            def put(self, spec, payload):
+                raise OSError(28, "chaos: no space left on device")
+
+        store = ENOSPCStore(tmp_path / "cache")
+        spec = small_specs(1)[0]
+        report = CampaignEngine(executor=SerialExecutor(), store=store).run(
+            [spec]
+        )
+        # The result still reaches the report; only the cache missed out.
+        assert report.executed == 1
+        assert report.metrics[0] is not None
+        assert store.get(spec) is None
+
+
+class TestJournalAndResume:
+    def test_journal_records_every_completion(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        specs = small_specs()
+        with CampaignJournal(path) as journal:
+            CampaignEngine(executor=SerialExecutor(), journal=journal).run(
+                specs
+            )
+        state = load_journal(path)
+        assert state.manifest is not None
+        assert state.done == {s.content_hash() for s in specs}
+
+    def test_interrupt_then_resume_runs_only_the_remainder(self, tmp_path):
+        specs = small_specs(3)
+        store = ResultStore(tmp_path / "cache")
+        path = tmp_path / "c.jsonl"
+        flag = ShutdownFlag()
+
+        def stop_after_first(event):
+            if event.kind == "done":
+                flag.set("test-shutdown")
+
+        journal = CampaignJournal(path)
+        engine = CampaignEngine(
+            executor=SerialExecutor(), store=store, journal=journal,
+            cancel=flag, progress=stop_after_first,
+        )
+        with pytest.raises(CampaignInterrupted) as exc_info:
+            engine.run(specs)
+        journal.close()
+        assert exc_info.value.completed == 1
+        assert exc_info.value.total == 3
+        assert exc_info.value.journal_path == path
+
+        state = load_journal(path)
+        assert len(state.done) == 1
+        assert state.interrupted
+
+        resumed = CampaignEngine(
+            executor=SerialExecutor(), store=store,
+            journal=CampaignJournal(path), resume=state,
+        )
+        report = resumed.run(specs)
+        # Only the unfinished cells execute; the journaled one replays.
+        assert report.executed == 2
+        assert report.cache_hits == 1
+        assert report.resumed == 1
+        assert all(m is not None for m in report.metrics)
+        assert sorted(report.statuses) == ["ok", "ok", "resumed"]
+
+    def test_resume_rejects_a_foreign_journal(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with CampaignJournal(path) as journal:
+            CampaignEngine(executor=SerialExecutor(), journal=journal).run(
+                small_specs(1)
+            )
+        state = load_journal(path)
+        other = CampaignEngine(executor=SerialExecutor(), resume=state)
+        with pytest.raises(JournalMismatch, match="different campaign"):
+            other.run(small_specs(2, duration=502))
+
+    def test_resumed_quarantine_is_not_reexecuted(self, tmp_path):
+        specs = small_specs()
+        store = ResultStore(tmp_path / "cache")
+        path = tmp_path / "c.jsonl"
+        with CampaignJournal(path) as journal:
+            first = CampaignEngine(
+                executor=SerialExecutor(retries=0, fn=_fail_seed10_cell),
+                store=store, journal=journal, failure_policy="quarantine",
+            )
+            first.run(specs)
+        state = load_journal(path)
+        assert set(state.failed) == {specs[0].content_hash()}
+
+        executed = []
+
+        def must_not_run(spec):
+            executed.append(spec)
+            return execute_cell_payload(spec)
+
+        resumed = CampaignEngine(
+            executor=SerialExecutor(retries=0, fn=must_not_run),
+            store=store, resume=state, failure_policy="quarantine",
+        )
+        report = resumed.run(specs)
+        assert executed == []  # survivor cached, failure replayed
+        assert report.executed == 0
+        assert report.failed[0].from_journal
+        assert report.statuses == ["quarantined", "resumed"]
+
+    def test_abort_policy_refuses_a_journaled_failure(self, tmp_path):
+        specs = small_specs()
+        path = tmp_path / "c.jsonl"
+        with CampaignJournal(path) as journal:
+            CampaignEngine(
+                executor=SerialExecutor(retries=0, fn=_fail_seed10_cell),
+                journal=journal, failure_policy="quarantine",
+            ).run(specs)
+        resumed = CampaignEngine(
+            executor=SerialExecutor(), resume=load_journal(path),
+            failure_policy="abort",
+        )
+        with pytest.raises(CellExecutionError, match="quarantined"):
+            resumed.run(specs)
+
+
+class TestProgressAccounting:
+    def test_denominator_stays_stable_with_cache_hits(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        old = small_specs(1)[0]
+        CampaignEngine(executor=SerialExecutor(), store=store).run([old])
+        new = small_specs(2)[1]
+
+        events = []
+        CampaignEngine(
+            executor=SerialExecutor(), store=store, progress=events.append
+        ).run([old, new])
+        assert [(e.kind, e.completed, e.total) for e in events] == [
+            ("cached", 1, 2), ("start", 1, 2), ("done", 2, 2),
+        ]

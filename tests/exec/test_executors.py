@@ -11,6 +11,12 @@ from repro.exec.executors import (
     ParallelExecutor,
     SerialExecutor,
 )
+from repro.exec.resilience import (
+    BackoffPolicy,
+    CellFailure,
+    ExecutorInterrupted,
+    ShutdownFlag,
+)
 from repro.exec.spec import parsec_cell
 
 
@@ -41,6 +47,24 @@ def _crash_once_cell(spec):
 
 def _slow_cell(spec):
     time.sleep(3.0)
+    return _ok_cell(spec)
+
+
+def _slow_once_cell(spec):
+    """Sleep past the timeout on first sight of each spec (sentinel file)."""
+    sentinel = os.path.join(
+        os.environ["REPRO_TEST_SENTINEL_DIR"], spec.content_hash()
+    )
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as fh:
+            fh.write("slow")
+        time.sleep(0.75)
+    return _ok_cell(spec)
+
+
+def _doomed_seed10_cell(spec):
+    if spec.seed == 10:
+        raise RuntimeError("doomed")
     return _ok_cell(spec)
 
 
@@ -106,6 +130,199 @@ class TestSerialExecutor:
         assert kinds["failed"].duration_s >= 0.0
 
 
+class TestSerialTimeout:
+    def test_overdue_result_is_discarded_and_retried(self):
+        calls = []
+
+        def slow_then_fast(spec):
+            calls.append(spec)
+            if len(calls) == 1:
+                time.sleep(0.1)
+            return _ok_cell(spec)
+
+        executor = SerialExecutor(timeout_s=0.05, retries=1)
+        results = executor.run(make_specs(1), fn=slow_then_fast)
+        # Attempt 1 finished but past the deadline: its result must be
+        # discarded (parity with the parallel executor's abandonment), and
+        # the retry's fresh result returned.
+        assert len(calls) == 2
+        assert results[0]["metrics"]["seed"] == 10
+
+    def test_persistent_overrun_exhausts_retries(self):
+        def always_slow(spec):
+            time.sleep(0.08)
+            return _ok_cell(spec)
+
+        executor = SerialExecutor(timeout_s=0.02, retries=1)
+        with pytest.raises(CellExecutionError, match="timed out"):
+            executor.run(make_specs(1), fn=always_slow)
+
+
+class TestCollectMode:
+    def test_serial_failure_fills_its_slot(self):
+        results = SerialExecutor(retries=0).run(
+            make_specs(2), fn=_doomed_seed10_cell, failure_mode="collect"
+        )
+        assert isinstance(results[0], CellFailure)
+        assert results[0].cause == "RuntimeError: doomed"
+        assert results[0].attempts == 1
+        assert results[1]["metrics"]["seed"] == 11  # survivor completed
+
+    def test_parallel_failure_fills_its_slot(self):
+        results = ParallelExecutor(jobs=2, retries=0).run(
+            make_specs(3), fn=_doomed_seed10_cell, failure_mode="collect"
+        )
+        assert isinstance(results[0], CellFailure)
+        assert [r["metrics"]["seed"] for r in results[1:]] == [11, 12]
+
+    def test_failure_hook_fires_once_per_failed_cell(self):
+        seen = []
+        SerialExecutor(retries=0).run(
+            make_specs(2), fn=_doomed_seed10_cell, failure_mode="collect",
+            on_failure=lambda i, spec, f: seen.append((i, f.cause)),
+        )
+        assert seen == [(0, "RuntimeError: doomed")]
+
+
+class TestBackoff:
+    def test_serial_delays_follow_the_policy(self):
+        delays = []
+        policy = BackoffPolicy(
+            base_s=0.01, factor=2.0, max_s=1.0, jitter=0.5, seed=3
+        )
+        executor = SerialExecutor(
+            retries=2, backoff=policy, sleep=delays.append
+        )
+        calls = []
+
+        def flaky(spec):
+            calls.append(spec)
+            if len(calls) < 3:
+                raise RuntimeError("transient")
+            return _ok_cell(spec)
+
+        specs = make_specs(1)
+        executor.run(specs, fn=flaky)
+        h = specs[0].content_hash()
+        assert delays == [policy.delay_s(h, 1), policy.delay_s(h, 2)]
+
+    def test_backoff_events_announce_the_delay(self):
+        events = []
+        policy = BackoffPolicy(base_s=0.01, jitter=0.0)
+        executor = SerialExecutor(
+            retries=1, backoff=policy, sleep=lambda s: None
+        )
+        calls = []
+
+        def flaky(spec):
+            calls.append(spec)
+            if len(calls) == 1:
+                raise RuntimeError("transient")
+            return _ok_cell(spec)
+
+        executor.run(make_specs(1), progress=events.append, fn=flaky)
+        backoffs = [e for e in events if e.kind == "backoff"]
+        assert len(backoffs) == 1
+        assert backoffs[0].seconds == pytest.approx(0.01)
+        assert backoffs[0].attempt == 1
+
+    def test_no_backoff_never_sleeps(self):
+        delays = []
+        executor = SerialExecutor(retries=1, sleep=delays.append)
+        calls = []
+
+        def flaky(spec):
+            calls.append(spec)
+            if len(calls) == 1:
+                raise RuntimeError("transient")
+            return _ok_cell(spec)
+
+        executor.run(make_specs(1), fn=flaky)
+        assert delays == []
+
+
+class TestCampaignWideAccounting:
+    def test_serial_offsets_shift_the_counters(self):
+        events = []
+        SerialExecutor().run(
+            make_specs(2), progress=events.append, fn=_ok_cell,
+            completed_offset=3, campaign_total=5,
+        )
+        assert [(e.kind, e.completed, e.total) for e in events] == [
+            ("start", 3, 5), ("done", 4, 5), ("start", 4, 5), ("done", 5, 5),
+        ]
+
+    def test_parallel_denominator_never_shrinks(self):
+        events = []
+        ParallelExecutor(jobs=2).run(
+            make_specs(3), progress=events.append, fn=_ok_cell,
+            completed_offset=2, campaign_total=5,
+        )
+        assert all(e.total == 5 for e in events)
+        done = [e for e in events if e.kind == "done"]
+        assert sorted(e.completed for e in done) == [3, 4, 5]
+
+    def test_on_result_reports_index_and_payload(self):
+        landed = []
+        SerialExecutor().run(
+            make_specs(2), fn=_ok_cell,
+            on_result=lambda i, spec, p: landed.append(
+                (i, p["metrics"]["seed"])
+            ),
+        )
+        assert landed == [(0, 10), (1, 11)]
+
+
+class TestGracefulCancel:
+    def test_serial_stops_between_cells(self):
+        flag = ShutdownFlag()
+
+        def stop_after_first(event):
+            if event.kind == "done":
+                flag.set("test-shutdown")
+
+        with pytest.raises(ExecutorInterrupted) as exc_info:
+            SerialExecutor().run(
+                make_specs(3), progress=stop_after_first, fn=_ok_cell,
+                cancel=flag,
+            )
+        assert exc_info.value.completed == 1
+        assert exc_info.value.reason == "test-shutdown"
+
+    def test_serial_completed_count_excludes_the_offset(self):
+        flag = ShutdownFlag()
+
+        def stop_after_first(event):
+            if event.kind == "done":
+                flag.set("test-shutdown")
+
+        with pytest.raises(ExecutorInterrupted) as exc_info:
+            SerialExecutor().run(
+                make_specs(3), progress=stop_after_first, fn=_ok_cell,
+                cancel=flag, completed_offset=4, campaign_total=7,
+            )
+        assert exc_info.value.completed == 1  # batch-relative, not 5
+
+    def test_parallel_drains_in_flight_and_drops_pending(self):
+        flag = ShutdownFlag()
+        landed = []
+
+        def stop_after_first(event):
+            if event.kind == "done":
+                flag.set("test-shutdown")
+
+        with pytest.raises(ExecutorInterrupted) as exc_info:
+            ParallelExecutor(jobs=1).run(
+                make_specs(3), progress=stop_after_first, fn=_ok_cell,
+                cancel=flag,
+                on_result=lambda i, spec, p: landed.append(i),
+            )
+        # The finished cell was reported through on_result before the
+        # drain; the undispatched cells stay unfinished for resume.
+        assert exc_info.value.completed == 1
+        assert landed == [0]
+
+
 class TestParallelExecutor:
     def test_results_align_with_specs(self):
         specs = make_specs(4)
@@ -134,3 +351,27 @@ class TestParallelExecutor:
         assert kinds.count("start") == 3
         assert kinds.count("done") == 3
         assert all(e.duration_s > 0.0 for e in events if e.kind == "done")
+
+    def test_abandoned_future_result_is_discarded(self, tmp_path, monkeypatch):
+        """A timed-out attempt that later completes must not double-count.
+
+        jobs=1 serializes the pool: attempt 1 sleeps past the timeout and
+        is abandoned (still running, so it cannot be cancelled); attempt 2
+        queues behind it in the same worker and only starts once the late
+        attempt finishes.  When attempt 1's result finally lands it must
+        be dropped on the floor — the cell's payload comes from attempt 2,
+        and exactly one "done" event fires.  (The sleep/timeout margins
+        leave attempt 2 enough deadline to absorb its queueing delay.)
+        """
+        monkeypatch.setenv("REPRO_TEST_SENTINEL_DIR", str(tmp_path))
+        events = []
+        executor = ParallelExecutor(jobs=1, timeout_s=0.5, retries=1)
+        results = executor.run(
+            make_specs(1), progress=events.append, fn=_slow_once_cell
+        )
+        assert results[0]["metrics"]["seed"] == 10
+        kinds = [e.kind for e in events]
+        assert kinds.count("done") == 1
+        assert kinds.count("retry") == 1  # the timeout charged one attempt
+        # The sentinel proves the slow first attempt really ran.
+        assert len(list(tmp_path.iterdir())) == 1

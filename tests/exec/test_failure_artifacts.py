@@ -83,8 +83,10 @@ class TestFailureArtifacts:
         spec = make_spec()
 
         class DoomedExecutor:
-            def run(self, specs, progress=None):
-                return SerialExecutor(retries=0).run(specs, progress, fn=_doomed_cell)
+            def run(self, specs, progress=None, fn=None, **kwargs):
+                return SerialExecutor(retries=0).run(
+                    specs, progress, _doomed_cell, **kwargs
+                )
 
         engine = CampaignEngine(executor=DoomedExecutor(), store=store)
         with pytest.raises(CellExecutionError):

@@ -1,0 +1,175 @@
+"""Resilience primitives: backoff, journal, manifest, shutdown plumbing."""
+
+import json
+import os
+import signal
+
+import pytest
+
+from repro.exec.resilience import (
+    BackoffPolicy,
+    CampaignJournal,
+    ExecutorInterrupted,
+    FailurePolicy,
+    JOURNAL_SCHEMA_VERSION,
+    JournalState,
+    NO_BACKOFF,
+    ShutdownFlag,
+    graceful_shutdown,
+    load_journal,
+    manifest_hash,
+)
+
+H1 = "a" * 64
+H2 = "b" * 64
+
+
+class TestFailurePolicy:
+    def test_coerce_accepts_strings_and_members(self):
+        assert FailurePolicy.coerce("quarantine") is FailurePolicy.QUARANTINE
+        assert FailurePolicy.coerce("SKIP") is FailurePolicy.SKIP
+        assert FailurePolicy.coerce(FailurePolicy.ABORT) is FailurePolicy.ABORT
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(ValueError, match="choose from"):
+            FailurePolicy.coerce("explode")
+
+
+class TestBackoffPolicy:
+    def test_deterministic(self):
+        a = BackoffPolicy(seed=7)
+        b = BackoffPolicy(seed=7)
+        assert a.delay_s(H1, 3) == b.delay_s(H1, 3)
+
+    def test_seed_and_hash_vary_the_jitter(self):
+        p = BackoffPolicy(seed=1)
+        assert p.delay_s(H1, 2) != p.delay_s(H2, 2)
+        assert p.delay_s(H1, 2) != BackoffPolicy(seed=2).delay_s(H1, 2)
+
+    def test_exponential_growth_within_bounds(self):
+        p = BackoffPolicy(base_s=0.1, factor=2.0, max_s=1.0, jitter=0.0)
+        assert p.delay_s(H1, 1) == pytest.approx(0.1)
+        assert p.delay_s(H1, 2) == pytest.approx(0.2)
+        assert p.delay_s(H1, 5) == pytest.approx(1.0)  # capped at max_s
+        assert p.delay_s(H1, 50) == pytest.approx(1.0)  # no overflow blow-up
+
+    def test_jitter_only_shrinks_the_delay(self):
+        p = BackoffPolicy(base_s=0.5, factor=1.0, max_s=10.0, jitter=0.5)
+        for n in range(1, 6):
+            delay = p.delay_s(H1, n)
+            assert 0.25 <= delay <= 0.5
+
+    def test_zero_failures_means_zero_delay(self):
+        assert BackoffPolicy().delay_s(H1, 0) == 0.0
+
+    def test_no_backoff_sentinel(self):
+        assert NO_BACKOFF.delay_s(H1, 5) == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_s=-1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(factor=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=1.5)
+
+
+class TestManifestHash:
+    def test_order_and_duplicates_do_not_matter(self):
+        assert manifest_hash([H1, H2]) == manifest_hash([H2, H1, H1])
+
+    def test_different_grids_differ(self):
+        assert manifest_hash([H1]) != manifest_hash([H1, H2])
+
+
+class TestJournal:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.begin("m" * 64, 3)
+            journal.record_done(H1, "cell-a")
+            journal.record_failed(H2, "RuntimeError: doomed", "cell-b")
+            journal.record_interrupted("SIGINT")
+        state = load_journal(path)
+        assert state.manifest == "m" * 64
+        assert state.cells == 3
+        assert state.done == {H1}
+        assert state.failed == {H2: "RuntimeError: doomed"}
+        assert state.interrupted
+        assert state.records == 4
+        assert state.finished == {H1, H2}
+
+    def test_every_line_is_schema_stamped(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.begin("m" * 64, 1)
+            journal.record_done(H1)
+        for line in path.read_text().splitlines():
+            assert json.loads(line)["schema"] == JOURNAL_SCHEMA_VERSION
+
+    def test_torn_tail_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.begin("m" * 64, 2)
+            journal.record_done(H1)
+        with path.open("a") as fh:
+            fh.write('{"kind": "done", "spec_ha')  # kill -9 mid-append
+        state = load_journal(path)
+        assert state.done == {H1}
+        assert state.records == 2
+
+    def test_later_success_overrides_failure(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.record_failed(H1, "flaky")
+            journal.record_done(H1)
+        state = load_journal(path)
+        assert state.done == {H1}
+        assert state.failed == {}
+
+    def test_appending_across_runs_accumulates(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.record_done(H1)
+        with CampaignJournal(path) as journal:
+            journal.record_done(H2)
+        assert load_journal(path).done == {H1, H2}
+
+    def test_missing_journal_raises_value_error(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read journal"):
+            load_journal(tmp_path / "absent.jsonl")
+
+    def test_default_state_is_empty(self):
+        state = JournalState()
+        assert state.finished == set()
+        assert state.manifest is None
+
+
+class TestShutdown:
+    def test_flag_first_reason_wins(self):
+        flag = ShutdownFlag()
+        assert not flag.is_set()
+        flag.set("SIGINT")
+        flag.set("SIGTERM")
+        assert flag.is_set()
+        assert flag.reason == "SIGINT"
+
+    def test_graceful_shutdown_catches_sigint(self):
+        flag = ShutdownFlag()
+        with graceful_shutdown(flag, signals=(signal.SIGINT,)):
+            os.kill(os.getpid(), signal.SIGINT)
+            # The handler must set the flag instead of raising
+            # KeyboardInterrupt into this frame.
+            assert flag.is_set()
+            assert flag.reason == "SIGINT"
+
+    def test_previous_handler_restored(self):
+        before = signal.getsignal(signal.SIGINT)
+        with graceful_shutdown(ShutdownFlag(), signals=(signal.SIGINT,)):
+            assert signal.getsignal(signal.SIGINT) is not before
+        assert signal.getsignal(signal.SIGINT) is before
+
+    def test_executor_interrupted_carries_progress(self):
+        exc = ExecutorInterrupted("SIGTERM", completed=4)
+        assert exc.reason == "SIGTERM"
+        assert exc.completed == 4

@@ -117,3 +117,76 @@ class TestStore:
         del artifact["payload"]
         path.write_text(json.dumps(artifact))
         assert store.get(spec) is None
+
+
+class TestAuditAndPrune:
+    def _fill(self, store, n=3):
+        specs = [
+            parsec_cell(SECDED_BASELINE, "swa", 1000, seed=20 + i)
+            for i in range(n)
+        ]
+        for s in specs:
+            store.put(s, {"metrics": make_metrics().to_dict()})
+        return specs
+
+    def test_healthy_store_audits_clean(self, store):
+        self._fill(store)
+        audit = store.audit()
+        assert audit.ok
+        assert audit.checked == 3
+        assert audit.healthy == 3
+        assert audit.corrupt == [] and audit.stale_failures == []
+
+    def test_truncated_artifact_reported_corrupt(self, store):
+        specs = self._fill(store)
+        path = store.path_for(specs[0])
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        audit = store.audit()
+        assert not audit.ok
+        assert [e.path for e in audit.corrupt] == [path]
+        assert audit.healthy == 2
+
+    def test_bit_rot_in_payload_caught_by_rehash(self, store):
+        """audit() must catch damage get() alone cannot see: a flipped
+        byte inside the embedded spec changes the content hash."""
+        specs = self._fill(store, 1)
+        path = store.path_for(specs[0])
+        artifact = json.loads(path.read_text())
+        artifact["spec"]["spec"]["seed"] = 99
+        path.write_text(json.dumps(artifact))
+        audit = store.audit()
+        assert len(audit.corrupt) == 1
+        assert "hash mismatch" in audit.corrupt[0].problem
+
+    def test_stale_failure_classified(self, store, spec):
+        store.put_failure(spec, "RuntimeError: flaky", "tb")
+        assert store.audit().stale_failures == []  # no success yet: history
+        store.put(spec, {"metrics": make_metrics().to_dict()})
+        audit = store.audit()
+        assert audit.ok  # stale is not corrupt
+        assert len(audit.stale_failures) == 1
+        assert audit.failures == 1
+
+    def test_prune_removes_corrupt_and_stale(self, store, spec):
+        specs = self._fill(store)
+        store.path_for(specs[0]).write_text("{broken")
+        store.put_failure(spec, "RuntimeError: flaky", "tb")
+        store.put(spec, {"metrics": make_metrics().to_dict()})
+        corrupt, stale = store.prune()
+        assert (corrupt, stale) == (1, 1)
+        assert store.audit().ok
+        assert not store.path_for(specs[0]).exists()
+        assert not store.failure_path_for(spec).exists()
+        # Healthy artifacts survive pruning.
+        assert store.get(specs[1]) is not None
+        assert store.get(spec) is not None
+
+    def test_journal_and_tmp_files_ignored(self, store, spec):
+        store.put(spec, {"metrics": make_metrics().to_dict()})
+        (store.cache_dir / "campaign.journal.jsonl").write_text("{}\n")
+        (store.cache_dir / "ab").mkdir(exist_ok=True)
+        (store.cache_dir / "ab" / "leftover.tmp").write_text("partial")
+        audit = store.audit()
+        assert audit.checked == 1
+        assert audit.ok
