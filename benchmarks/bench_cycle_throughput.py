@@ -1,0 +1,99 @@
+"""Simulator-speed benchmark: cycles/sec and flits/sec on canonical configs.
+
+This is a *performance trajectory* harness, not a results benchmark: it
+measures how fast the cycle loop itself runs so optimization PRs have a
+committed baseline to compare against (ROADMAP item 1).  Run it with::
+
+    PYTHONPATH=src python benchmarks/bench_cycle_throughput.py
+
+and commit the refreshed ``BENCH_cycle_throughput.json`` alongside any
+change that intends to move these numbers.  The canonical operating
+points are the 8x8 mesh under uniform traffic at 0.1 (nominal) and 0.4
+(saturating) packets/node/cycle; both the static baseline and the full
+IntelliNoC control stack are timed, since their hot paths differ (the RL
+technique exercises gating, bypass, and the control epoch).
+
+Wall-clock numbers are machine-dependent — compare ratios across commits
+on the same host, not absolute values across hosts.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.config import INTELLINOC, SECDED_BASELINE, SimulationConfig
+from repro.noc.network import Network
+from repro.traffic.patterns import SyntheticPattern, generate_synthetic_trace
+from repro.utils.rng import make_rng
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_cycle_throughput.json"
+
+DURATION = 3_000  # trace cycles per operating point
+SEED = 7
+INJECTION_RATES = (0.1, 0.4)
+TECHNIQUES = (SECDED_BASELINE, INTELLINOC)
+
+
+def time_point(technique, injection_rate: float) -> dict:
+    noc = technique.noc
+    trace = generate_synthetic_trace(
+        SyntheticPattern.UNIFORM,
+        noc.num_nodes,
+        noc.width,
+        DURATION,
+        injection_rate,
+        noc.flits_per_packet,
+        make_rng(SEED, f"bench/{technique.name}/{injection_rate}"),
+    )
+    config = SimulationConfig(technique=technique, seed=SEED)
+    network = Network(config, trace)
+    # A fixed simulated-cycle window (not run-to-completion): the
+    # saturating point would otherwise spend most of its wall time in the
+    # post-trace drain, and a fixed window keeps the measured work
+    # identical across commits.
+    started = time.perf_counter()
+    network.run(DURATION)
+    elapsed = time.perf_counter() - started
+    stats = network.stats
+    return {
+        "technique": technique.name,
+        "topology": noc.topology,
+        "grid": f"{noc.width}x{noc.height}",
+        "injection_rate": injection_rate,
+        "simulated_cycles": DURATION,
+        "wall_seconds": round(elapsed, 4),
+        "cycles_per_second": round(DURATION / elapsed, 1),
+        "flits_delivered": stats.flits_delivered,
+        "flits_per_second": round(stats.flits_delivered / elapsed, 1),
+        "packets_completed": stats.packets_completed,
+    }
+
+
+def main() -> int:
+    points = []
+    for technique in TECHNIQUES:
+        for rate in INJECTION_RATES:
+            point = time_point(technique, rate)
+            points.append(point)
+            print(
+                f"{point['technique']:>10s} @ {rate:.1f}: "
+                f"{point['cycles_per_second']:>9.0f} cyc/s  "
+                f"{point['flits_per_second']:>9.0f} flit/s  "
+                f"({point['wall_seconds']:.2f}s wall)"
+            )
+    payload = {
+        "benchmark": "cycle_throughput",
+        "duration": DURATION,
+        "seed": SEED,
+        "points": points,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"wrote {OUTPUT.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

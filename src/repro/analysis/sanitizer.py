@@ -163,19 +163,20 @@ class NocSanitizer:
             for pending in channel.pending_acks.values():
                 _, owner = pending
                 reserved_by_router[owner.id] = reserved_by_router.get(owner.id, 0) + 1
+        port_name = network.topology.port_name
         for router in network.routers:
             for port in router.input_ports.values():
                 for vci, vc in enumerate(port.vcs):
                     if vc.reserved < 0:
                         self._fail(
                             network, "credit-conservation", cycle,
-                            f"router {router.id} {port.direction.name}/vc{vci}: "
+                            f"router {router.id} {port_name(port.direction)}/vc{vci}: "
                             f"negative reservation count {vc.reserved}",
                         )
                     if len(vc.queue) + vc.reserved > vc.depth:
                         self._fail(
                             network, "credit-conservation", cycle,
-                            f"router {router.id} {port.direction.name}/vc{vci}: "
+                            f"router {router.id} {port_name(port.direction)}/vc{vci}: "
                             f"occupancy {len(vc.queue)}+{vc.reserved} exceeds "
                             f"depth {vc.depth}",
                         )
@@ -188,9 +189,10 @@ class NocSanitizer:
                 )
 
     def _check_bst_consistency(self, network: "Network", cycle: int) -> None:
-        from repro.noc.routing import NUM_PORTS
         from repro.noc.vc import VcState
 
+        port_name = network.topology.port_name
+        num_ports = network.topology.num_ports
         for router in network.routers:
             num_vcs = router.noc.num_vcs
             for port in router.input_ports.values():
@@ -201,18 +203,18 @@ class NocSanitizer:
                     if entry is None:
                         self._fail(
                             network, "bst-consistency", cycle,
-                            f"router {router.id} {port.direction.name}/vc{vci} "
+                            f"router {router.id} {port_name(port.direction)}/vc{vci} "
                             f"is ACTIVE with no BST entry",
                         )
-                    elif entry.output_port is not vc.route or entry.out_vc != vc.out_vc:
+                    elif entry.output_port != vc.route or entry.out_vc != vc.out_vc:
                         self._fail(
                             network, "bst-consistency", cycle,
-                            f"router {router.id} {port.direction.name}/vc{vci}: "
-                            f"VC says ({vc.route.name}, {vc.out_vc}) but BST "
-                            f"says ({entry.output_port.name}, {entry.out_vc})",
+                            f"router {router.id} {port_name(port.direction)}/vc{vci}: "
+                            f"VC says ({port_name(vc.route)}, {vc.out_vc}) but BST "
+                            f"says ({port_name(entry.output_port)}, {entry.out_vc})",
                         )
             for (in_port, in_vc), entry in router.bst.entries().items():
-                if not (0 <= int(entry.output_port) < NUM_PORTS):
+                if not (0 <= int(entry.output_port) < num_ports):
                     self._fail(
                         network, "bst-consistency", cycle,
                         f"router {router.id}: BST ({in_port}, {in_vc}) routes "
@@ -293,6 +295,7 @@ class NocSanitizer:
 
     def snapshot(self, network: "Network", cycle: int) -> dict[str, Any]:
         """Structured dump of the network state for offline debugging."""
+        port_name = network.topology.port_name
         routers = []
         for router in network.routers:
             ports = {}
@@ -303,11 +306,11 @@ class NocSanitizer:
                         "state": vc.state.value,
                         "occupancy": len(vc.queue),
                         "reserved": vc.reserved,
-                        "route": vc.route.name if vc.route is not None else None,
+                        "route": port_name(vc.route) if vc.route is not None else None,
                         "out_vc": vc.out_vc,
                         "flits": [repr(f) for f, _ in vc.queue],
                     })
-                ports[direction.name] = {
+                ports[port_name(direction)] = {
                     "claimed": sorted(port.claimed),
                     "vcs": vcs,
                 }
@@ -319,9 +322,9 @@ class NocSanitizer:
                 "reserved_count": router._reserved_count,
                 "bst_entries": [
                     {
-                        "in_port": in_port,
+                        "in_port": int(in_port),
                         "in_vc": in_vc,
-                        "out_port": entry.output_port.name,
+                        "out_port": port_name(entry.output_port),
                         "out_vc": entry.out_vc,
                     }
                     for (in_port, in_vc), entry in sorted(router.bst.entries().items())

@@ -4,7 +4,9 @@ Usage::
 
     python -m repro run --technique intellinoc --benchmark bod
     python -m repro run --benchmark swa --trace run.jsonl --metrics-out run.prom
+    python -m repro run --technique intellinoc --benchmark bod --topology torus
     python -m repro campaign --benchmarks swa bod can --duration 4000
+    python -m repro campaign --benchmarks swa --topology cmesh --concentration 4
     python -m repro campaign --failure-policy quarantine --journal c.jsonl
     python -m repro campaign --resume c.jsonl
     python -m repro sweep --knob epsilon --values 0 0.05 0.5
@@ -36,7 +38,10 @@ import os
 import sys
 from contextlib import nullcontext
 
-from repro.config import all_techniques, technique
+from dataclasses import replace
+
+from repro.config import TechniqueConfig, all_techniques, technique
+from repro.noc.topology import registered_topologies
 from repro.core.experiment import ExperimentRunner
 from repro.core.intellinoc import IntelliNoCSystem
 from repro.core.sweep import SensitivitySweep
@@ -99,6 +104,34 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="enable the NoCSan runtime invariant checks (see docs/analysis.md)",
     )
     _add_logging_options(parser)
+
+
+def _add_fabric_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--topology", default="mesh", choices=registered_topologies(),
+        help="interconnect fabric (default: mesh; see docs/topologies.md)",
+    )
+    parser.add_argument(
+        "--concentration", type=int, default=None, metavar="C",
+        help="cores per router for --topology cmesh "
+             "(2 or 4; default 4, ignored elsewhere)",
+    )
+
+
+def _fabric_technique(
+    tech: TechniqueConfig, args: argparse.Namespace
+) -> TechniqueConfig:
+    """Re-target a technique's NoC onto the fabric the CLI selected."""
+    topology = getattr(args, "topology", "mesh")
+    concentration = getattr(args, "concentration", None)
+    if concentration is None:
+        concentration = 4 if topology == "cmesh" else 1
+    noc = tech.noc
+    if topology == noc.topology and concentration == noc.concentration:
+        return tech
+    return replace(
+        tech, noc=replace(noc, topology=topology, concentration=concentration)
+    )
 
 
 def _apply_sanitize(args: argparse.Namespace) -> None:
@@ -212,8 +245,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     def phase(name: str, **kw):
         return nullcontext() if profiler is None else profiler.phase(name, **kw)
 
-    system = IntelliNoCSystem(args.technique, seed=args.seed, telemetry=telemetry)
-    if args.pretrain and technique(args.technique).policy.value == "rl":
+    tech = _fabric_technique(technique(args.technique), args)
+    system = IntelliNoCSystem(tech, seed=args.seed, telemetry=telemetry)
+    if args.pretrain and tech.policy.value == "rl":
         _LOG.info("pre-training RL agents for %d cycles ...", args.pretrain)
         with phase("pretrain", cycles=args.pretrain):
             system = system.with_pretrained_policy(duration=args.pretrain)
@@ -282,6 +316,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             duration=args.duration,
             seed=args.seed,
             benchmarks=args.benchmarks,
+            techniques=[_fabric_technique(t, args) for t in all_techniques()],
             pretrain_cycles=args.pretrain,
             profiler=profiler,
             **_engine_kwargs(args, sink, cancel=flag),
@@ -436,6 +471,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a Prometheus-style metrics snapshot to PATH")
     p.add_argument("--profile", default=None, metavar="PATH",
                    help="write a Chrome trace-event JSON phase profile to PATH")
+    _add_fabric_options(p)
     _add_common(p)
     p.set_defaults(fn=_cmd_run)
 
@@ -445,6 +481,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--figures", nargs="*", default=None,
                    help="subset of figures to print")
     p.add_argument("--pretrain", type=int, default=20_000)
+    _add_fabric_options(p)
     _add_common(p)
     _add_engine_options(p)
     p.set_defaults(fn=_cmd_campaign)

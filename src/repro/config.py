@@ -26,6 +26,15 @@ from typing import Any
 # be *stable*: dict keys sorted, enums reduced to their values, tuples and
 # lists unified, floats serialized by repr (shortest round-trip).
 
+# Fields added after a schema was first hashed, keyed by dataclass name.
+# When such a field still holds its original default, it is omitted from the
+# canonical form so pre-existing content hashes (and the on-disk ResultStore
+# entries they key) remain valid.  Non-default values are hashed normally.
+_SCHEMA_EVOLUTION_DEFAULTS: dict[str, dict[str, Any]] = {
+    "NocConfig": {"topology": "mesh", "concentration": 1},
+}
+
+
 def canonical_value(obj: object) -> Any:
     """Reduce a config object to a canonical JSON-safe structure.
 
@@ -34,7 +43,14 @@ def canonical_value(obj: object) -> Any:
     construction order.
     """
     if is_dataclass(obj) and not isinstance(obj, type):
-        out = {f.name: canonical_value(getattr(obj, f.name)) for f in fields(obj)}
+        evolved = _SCHEMA_EVOLUTION_DEFAULTS.get(type(obj).__name__, {})
+        out = {
+            f.name: canonical_value(getattr(obj, f.name))
+            for f in fields(obj)
+            if not (
+                f.name in evolved and getattr(obj, f.name) == evolved[f.name]
+            )
+        }
         out["__type__"] = type(obj).__name__
         return out
     if isinstance(obj, enum.Enum):
@@ -109,6 +125,8 @@ class NocConfig:
     link_latency: int = 1  # cycles per channel stage traversal
     subnetworks: int = 1  # EB uses 2
     routing: str = "xy"  # "xy" (Table 1) or "west_first" (adaptive)
+    topology: str = "mesh"  # "mesh", "torus", "cmesh" or "ring"
+    concentration: int = 1  # cores per router (cmesh: 2 or 4)
 
     def __post_init__(self) -> None:
         if self.width < 2 or self.height < 2:
@@ -121,9 +139,41 @@ class NocConfig:
             raise ValueError("only 3- and 4-stage router pipelines are modeled")
         if self.routing not in ("xy", "west_first"):
             raise ValueError("routing must be 'xy' or 'west_first'")
+        if self.topology not in ("mesh", "torus", "cmesh", "ring"):
+            raise ValueError(
+                "topology must be one of 'mesh', 'torus', 'cmesh', 'ring'"
+            )
+        if self.topology == "cmesh":
+            if self.concentration not in (2, 4):
+                raise ValueError("cmesh concentration must be 2 or 4")
+            tile_w, tile_h = (2, 1) if self.concentration == 2 else (2, 2)
+            if self.width % tile_w or self.height % tile_h:
+                raise ValueError(
+                    f"cmesh c={self.concentration} needs node grid divisible "
+                    f"by {tile_w}x{tile_h} tiles"
+                )
+        elif self.concentration != 1:
+            raise ValueError("concentration > 1 requires topology 'cmesh'")
+        if self.topology in ("torus", "ring"):
+            if self.routing != "xy":
+                raise ValueError(
+                    f"{self.topology} supports only the dimension-ordered "
+                    "'xy' routing family"
+                )
+            if self.num_vcs < 2:
+                raise ValueError(
+                    "dateline (VC-class) routing needs at least 2 VCs per port"
+                )
+
+    @property
+    def num_nodes(self) -> int:
+        """Cores / traffic endpoints — always the full node grid."""
+        return self.width * self.height
 
     @property
     def num_routers(self) -> int:
+        if self.topology == "cmesh":
+            return (self.width * self.height) // self.concentration
         return self.width * self.height
 
     @property

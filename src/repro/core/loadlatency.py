@@ -108,7 +108,7 @@ class LoadLatencySweep:
             avg_latency=(
                 metrics.latency.mean if metrics.latency.count else float("inf")
             ),
-            throughput=completed / (metrics.execution_cycles * noc.num_routers),
+            throughput=completed / (metrics.execution_cycles * noc.num_nodes),
             completed_fraction=completed / max(1, metrics.packets_injected),
         )
 

@@ -45,7 +45,7 @@ def build_trace(spec: CellSpec) -> Trace:
     rng = make_rng(spec.seed, f"synthetic/{w.name}/{w.injection_rate}")
     return generate_synthetic_trace(
         SyntheticPattern(w.name),
-        noc.num_routers,
+        noc.num_nodes,
         noc.width,
         w.duration,
         w.injection_rate,

@@ -14,13 +14,23 @@ import math
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from repro.config import FaultConfig, NocConfig
+
+if TYPE_CHECKING:
+    from repro.noc.topology import Topology
 
 
 class ThermalModel:
-    """Temperature state for every router in the mesh."""
+    """Temperature state for every router in the fabric."""
 
-    def __init__(self, noc: NocConfig, config: FaultConfig):
+    def __init__(
+        self,
+        noc: NocConfig,
+        config: FaultConfig,
+        topology: "Topology | None" = None,
+    ):
         self.noc = noc
         self.config = config
         self.temperatures = np.full(
@@ -29,9 +39,15 @@ class ThermalModel:
         # Highest temperature any node has reached since construction
         # (kelvin) — a telemetry observable, never read by the dynamics.
         self.peak_temperature_k = float(config.ambient_temperature)
-        self._neighbors: list[list[int]] = [
-            self._mesh_neighbors(i) for i in range(noc.num_routers)
-        ]
+        if topology is not None:
+            self._neighbors: list[list[int]] = [
+                list(topology.thermal_neighbors(i))
+                for i in range(topology.num_routers)
+            ]
+        else:  # standalone construction: the classic mesh layout
+            self._neighbors = [
+                self._mesh_neighbors(i) for i in range(noc.num_routers)
+            ]
 
     def _mesh_neighbors(self, router: int) -> list[int]:
         x, y = router % self.noc.width, router // self.noc.width

@@ -1,10 +1,13 @@
-"""Cycle-level 2D-mesh wormhole NoC simulator (Booksim2 substitute).
+"""Cycle-level wormhole NoC simulator (Booksim2 substitute).
 
 Primitives:
 
 * :mod:`repro.noc.flit` — packets and flits.
 * :mod:`repro.noc.routing` — directions and X-Y dimension-ordered routing.
-* :mod:`repro.noc.topology` — mesh coordinate/channel arithmetic.
+* :mod:`repro.noc.topology` — the :class:`Topology` abstraction, the 2D
+  mesh implementation, and the fabric registry.
+* :mod:`repro.noc.torus` / :mod:`repro.noc.cmesh` / :mod:`repro.noc.ring`
+  — the wraparound, concentrated, and loop fabrics.
 * :mod:`repro.noc.arbiter` — round-robin arbitration.
 * :mod:`repro.noc.vc` — virtual channels and input ports.
 * :mod:`repro.noc.bst` — the paper's unified Buffer State Table.
@@ -15,7 +18,7 @@ Router and network:
   control, adaptive ECC, stress-relaxing bypass, and power gating.
 * :mod:`repro.noc.power_gating` — gating controller (idle-driven and
   mode-driven).
-* :mod:`repro.noc.network` — ties routers and channels into a mesh and
+* :mod:`repro.noc.network` — ties routers and channels into a fabric and
   advances the whole system cycle by cycle.
 * :mod:`repro.noc.statistics` — run/epoch statistics collection.
 """
@@ -24,7 +27,13 @@ from repro.noc.flit import Flit, Packet
 from repro.noc.network import Network
 from repro.noc.routing import Direction, xy_route
 from repro.noc.statistics import NetworkStatistics
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import (
+    MeshTopology,
+    Topology,
+    build_topology,
+    register_topology,
+    registered_topologies,
+)
 
 __all__ = [
     "Direction",
@@ -33,5 +42,9 @@ __all__ = [
     "Network",
     "NetworkStatistics",
     "Packet",
+    "Topology",
+    "build_topology",
+    "register_topology",
+    "registered_topologies",
     "xy_route",
 ]

@@ -18,14 +18,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.noc.routing import NUM_PORTS, Direction
+from repro.noc.routing import NUM_PORTS
 
 
 @dataclass
 class BstEntry:
     """Routing state for the packet currently owning (input port, VC)."""
 
-    output_port: Direction
+    output_port: int  # a Direction member, or a cmesh extra local port id
     out_vc: int
     active: bool = True
 
@@ -33,24 +33,27 @@ class BstEntry:
 class BufferStateTable:
     """Router-wide, always-on routing-state table."""
 
-    def __init__(self, num_vcs: int):
+    def __init__(self, num_vcs: int, num_ports: int = NUM_PORTS):
         if num_vcs < 1:
             raise ValueError("need at least one VC")
+        if num_ports < 2:
+            raise ValueError("need at least two ports")
         self.num_vcs = num_vcs
+        self.num_ports = num_ports
         self._entries: dict[tuple[int, int], BstEntry] = {}
 
     def record(
-        self, in_port: Direction, in_vc: int, output_port: Direction, out_vc: int
+        self, in_port: int, in_vc: int, output_port: int, out_vc: int
     ) -> None:
         """Store the head flit's allocation for its body flits to follow."""
         self._check(in_port, in_vc)
         self._entries[(int(in_port), in_vc)] = BstEntry(output_port, out_vc)
 
-    def lookup(self, in_port: Direction, in_vc: int) -> BstEntry | None:
+    def lookup(self, in_port: int, in_vc: int) -> BstEntry | None:
         """Allocation of the packet owning (port, VC), or None if idle."""
         return self._entries.get((int(in_port), in_vc))
 
-    def clear(self, in_port: Direction, in_vc: int) -> None:
+    def clear(self, in_port: int, in_vc: int) -> None:
         """Tail flit departed: the (port, VC) pair is idle again."""
         self._entries.pop((int(in_port), in_vc), None)
 
@@ -63,8 +66,8 @@ class BufferStateTable:
         sanitizer audits it against the VC state; do not mutate)."""
         return self._entries
 
-    def _check(self, in_port: Direction, in_vc: int) -> None:
-        if not 0 <= int(in_port) < NUM_PORTS:
+    def _check(self, in_port: int, in_vc: int) -> None:
+        if not 0 <= int(in_port) < self.num_ports:
             raise ValueError(f"bad port {in_port}")
         if not 0 <= in_vc < self.num_vcs:
             raise ValueError(f"bad VC {in_vc}")

@@ -31,6 +31,9 @@ class Packet:
     # Routers the head flit visited: per-router latency (Eq. 1's Latency_i)
     # is attributed to every router the packet transited.
     path: list[int] = field(default_factory=list)
+    # Dateline VC class on torus/ring fabrics (dim * 2 + crossed); updated
+    # at each VC allocation, always 0 on fabrics without VC classes.
+    vc_class: int = 0
 
     _pid_counter = itertools.count()
 
@@ -91,6 +94,7 @@ class Packet:
         self.flits_ejected = 0
         self.injection_cycle = -1
         self.path.clear()
+        self.vc_class = 0
 
 
 class Flit:

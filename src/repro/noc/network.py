@@ -1,4 +1,4 @@
-"""The whole-system simulator: mesh + channels + faults + power + control.
+"""The whole-system simulator: fabric + channels + faults + power + control.
 
 :class:`Network` owns the routers, the inter-router channels, the fault /
 thermal / aging models, the energy accountant, and the control policy, and
@@ -37,9 +37,8 @@ from repro.faults.transient import TransientFaultModel
 from repro.noc.flit import Flit, Packet
 from repro.noc.power_gating import PowerState
 from repro.noc.router import Router
-from repro.noc.routing import Direction
 from repro.noc.statistics import NetworkStatistics
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import build_topology
 from repro.power.accounting import EnergyAccountant
 from repro.power.model import PowerModel
 from repro.traffic.injection import SourceQueue
@@ -67,7 +66,7 @@ class Network:
         self.config = config
         self.technique = config.technique
         noc = config.noc
-        self.topology = MeshTopology(noc.width, noc.height)
+        self.topology = build_topology(noc)
         self.trace = trace
         self.fault_injector = fault_injector
         # NoCSan: read-only invariant checks, default-off (REPRO_SANITIZE=1
@@ -75,9 +74,13 @@ class Network:
         self.sanitizer = sanitizer if sanitizer is not None else NocSanitizer.from_env()
 
         self.rngs = RngFactory(config.seed)
-        self.stats = NetworkStatistics(self.topology.num_routers, seed=config.seed)
+        self.stats = NetworkStatistics(
+            self.topology.num_routers,
+            seed=config.seed,
+            num_ports=self.topology.num_ports,
+        )
         self.accountant = EnergyAccountant(self.topology.num_routers, config.power)
-        self.thermal = ThermalModel(noc, config.faults)
+        self.thermal = ThermalModel(noc, config.faults, topology=self.topology)
         self.aging = AgingModel(config.faults, self.topology.num_routers)
         self.fault_model = TransientFaultModel(config.faults)
         self.sampler = ErrorSampler(
@@ -94,7 +97,17 @@ class Network:
 
         self.routers: list[Router] = []
         self.channels: list[Channel] = []
-        self.sources = [SourceQueue(i) for i in range(self.topology.num_routers)]
+        # Source queues are per *node* (traffic endpoint); on a concentrated
+        # mesh several nodes share one router, so the node->router / port
+        # maps below are precomputed once and consulted on the hot paths.
+        topo = self.topology
+        self.sources = [SourceQueue(i) for i in range(topo.num_nodes)]
+        self._node_router = [topo.router_of_node(n) for n in range(topo.num_nodes)]
+        self._node_port = [topo.injection_port(n) for n in range(topo.num_nodes)]
+        self._router_locals: list[list[tuple[int, SourceQueue]]] = [
+            [(topo.injection_port(n), self.sources[n]) for n in topo.local_nodes(rid)]
+            for rid in range(topo.num_routers)
+        ]
         self._build()
 
         self.cycle = 0
@@ -123,7 +136,7 @@ class Network:
                 rid,
                 self.technique,
                 self.config.power,
-                noc.width,
+                self.topology,
                 self.stats.routers[rid],
                 charge=self._make_charger(rid),
                 on_eject=self._make_ejector(rid),
@@ -522,7 +535,7 @@ class Network:
                         # control step re-decides with fresh state.
                         router.apply_mode(1, cycle)
                         self.stats.wakeups += 1
-                    elif router.bypass_step(cycle, self.sources[router.id]):
+                    elif router.bypass_step(cycle, self._router_locals[router.id]):
                         self.stats.bypass_traversals += 1
             elif state is not PowerState.WAKING:
                 router.step(cycle)
@@ -531,7 +544,9 @@ class Network:
                 # gates on idleness (Section 1) but its bypass keeps
                 # forwarding sporadic flits without waking the router.
                 router.gating.observe_idle(
-                    router.is_idle() and self.sources[router.id].is_empty(), cycle
+                    router.is_idle()
+                    and all(s.is_empty() for _, s in self._router_locals[router.id]),
+                    cycle,
                 )
 
     # --- phase 4: injection ---------------------------------------------------------------
@@ -546,7 +561,8 @@ class Network:
             if source.is_empty():
                 done.append(node)
                 continue
-            router = self.routers[node]
+            router = self.routers[self._node_router[node]]
+            in_port = self._node_port[node]
             state = router.gating.state
             if state is PowerState.GATED:
                 if not router.technique.uses_bypass:
@@ -558,7 +574,7 @@ class Network:
             if flit is None:
                 done.append(node)
                 continue
-            port = router.input_ports[Direction.LOCAL]
+            port = router.input_ports[in_port]
             if flit.is_head:
                 vci = port.free_vc_for_head()
                 if vci is None:
@@ -567,7 +583,7 @@ class Network:
                 flit.vc = vci
                 source.pop()
                 flit.packet.injection_cycle = cycle
-                router.deliver(flit, Direction.LOCAL, cycle)
+                router.deliver(flit, in_port, cycle)
             else:
                 vci = source.current_vc
                 if vci is None:
@@ -576,7 +592,7 @@ class Network:
                     continue
                 flit.vc = vci
                 source.pop()
-                router.deliver(flit, Direction.LOCAL, cycle)
+                router.deliver(flit, in_port, cycle)
                 if flit.is_tail:
                     source.current_vc = None
         for node in done:
@@ -586,6 +602,7 @@ class Network:
 
     def _handle_ejection(self, flit: Flit, rid: int, cycle: int) -> None:
         packet = flit.packet
+        src_router = self._node_router[packet.src]
         self.accountant.add_dynamic(rid, self.power_model.ejection_check_energy_pj())
         packet.flits_ejected += 1
         self.stats.flits_ejected_total += 1
@@ -601,7 +618,7 @@ class Network:
             packet.reset_for_retransmission()
             self.stats.e2e_retransmission_flits += packet.size
             self.accountant.add_dynamic(
-                packet.src, self.power_model.retransmission_energy_pj()
+                src_router, self.power_model.retransmission_energy_pj()
             )
             self.sources[packet.src].requeue_front(packet)
             self._active_sources.add(packet.src)
@@ -609,7 +626,7 @@ class Network:
         packet.completion_cycle = cycle
         if packet.corrupted:
             self.stats.corrupted_packets_delivered += 1
-        self.stats.record_completion(packet.latency, packet.src, cycle, path=packet.path)
+        self.stats.record_completion(packet.latency, src_router, cycle, path=packet.path)
         if self._tel is not None:
             self._lat_hist.observe(float(packet.latency))
             if self._tel.sampled(cycle):
@@ -647,10 +664,10 @@ class Network:
                 self.accountant.add_static(rid, leak_off, gated)
             # Occupancy sample for the RL buffer-utilization features.
             ctr = self.stats.routers[rid]
-            for d in Direction:
-                port = router.input_ports[d]
+            for p in self.topology.ports:
+                port = router.input_ports[p]
                 cap = port.total_capacity()
-                ctr.occupancy_samples[int(d)] += (
+                ctr.occupancy_samples[int(p)] += (
                     port.total_occupancy() / cap if cap else 0.0
                 )
             ctr.num_occupancy_samples += 1

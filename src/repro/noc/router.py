@@ -24,13 +24,14 @@ from repro.channels.flow_control import CongestionControlBlock
 from repro.channels.mfac import Channel, ChannelFunction
 from repro.config import ControlPolicy, EccScheme, PowerConfig, TechniqueConfig
 from repro.ecc.adaptive import AdaptiveEccUnit
-from repro.noc.adaptive_routing import CANDIDATE_FUNCTIONS, select_output
+from repro.noc.adaptive_routing import select_output
 from repro.noc.arbiter import RoundRobinArbiter
 from repro.noc.bst import BufferStateTable
 from repro.noc.flit import Flit
 from repro.noc.power_gating import PowerGatingController, PowerState
-from repro.noc.routing import NUM_PORTS, Direction, xy_route
+from repro.noc.routing import Direction
 from repro.noc.statistics import RouterEpochCounters
+from repro.noc.topology import Topology
 from repro.noc.vc import InputPort, VcState, VirtualChannel
 from repro.power.model import PowerModel
 
@@ -49,14 +50,14 @@ MODE_SCHEME = {
 
 
 class Router:
-    """One mesh router."""
+    """One router of any registered fabric."""
 
     def __init__(
         self,
         rid: int,
         technique: TechniqueConfig,
         power_cfg: PowerConfig,
-        mesh_width: int,
+        topology: Topology,
         counters: RouterEpochCounters,
         charge: Callable[[float], None],
         on_eject: Callable[[Flit, int], None],
@@ -65,21 +66,25 @@ class Router:
         self.id = rid
         self.technique = technique
         self.noc = noc
-        self.mesh_width = mesh_width
+        self.topology = topology
+        self.num_ports = topology.num_ports
         self.counters = counters
         self.charge = charge  # dynamic-energy sink (pJ)
         self.on_eject = on_eject
 
+        ports = topology.ports
+        self._ejection_ports = topology.ejection_ports(rid)
+        self._uses_vc_classes = topology.uses_vc_classes
         depth = max(1, noc.router_buffer_depth)  # EB keeps a 1-flit latch
-        self.input_ports: dict[Direction, InputPort] = {
-            d: InputPort(d, noc.num_vcs, depth) for d in Direction
+        self.input_ports: dict[int, InputPort] = {
+            p: InputPort(p, noc.num_vcs, depth) for p in ports
         }
-        self.outgoing: dict[Direction, Channel] = {}
-        self.incoming: dict[Direction, Channel] = {}
-        self.downstream_ports: dict[Direction, InputPort] = {}
-        self.downstream_routers: dict[Direction, "Router"] = {}
+        self.outgoing: dict[int, Channel] = {}
+        self.incoming: dict[int, Channel] = {}
+        self.downstream_ports: dict[int, InputPort] = {}
+        self.downstream_routers: dict[int, "Router"] = {}
 
-        self.bst = BufferStateTable(noc.num_vcs)
+        self.bst = BufferStateTable(noc.num_vcs, topology.num_ports)
         self.ecc = AdaptiveEccUnit(power_cfg, technique.static_ecc)
         self.power_model = PowerModel(technique, power_cfg)
         self.gating = PowerGatingController(
@@ -96,13 +101,12 @@ class Router:
         self._head_delay = 2 if noc.pipeline_stages >= 4 else 1
         self._body_delay = 1
         self._grants_per_output = noc.subnetworks
-        self._port_arbiters = {d: RoundRobinArbiter(noc.num_vcs) for d in Direction}
-        self._output_arbiters = {d: RoundRobinArbiter(NUM_PORTS) for d in Direction}
+        self._port_arbiters = {p: RoundRobinArbiter(noc.num_vcs) for p in ports}
+        self._output_arbiters = {p: RoundRobinArbiter(self.num_ports) for p in ports}
         self._va_arbiters = {
-            d: RoundRobinArbiter(NUM_PORTS * noc.num_vcs) for d in Direction
+            p: RoundRobinArbiter(self.num_ports * noc.num_vcs) for p in ports
         }
-        self._bypass_arbiter = RoundRobinArbiter(NUM_PORTS)
-        self._candidates = CANDIDATE_FUNCTIONS[noc.routing]
+        self._bypass_arbiter = RoundRobinArbiter(self.num_ports)
         self.failed = False  # permanent fault flagged by the aging model
         self._flit_count = 0  # flits in this router's input buffers
         self._reserved_count = 0  # slots held by unacked wire-channel copies
@@ -201,7 +205,7 @@ class Router:
 
     # --- flit delivery (called by the network) -----------------------------------
 
-    def deliver(self, flit: Flit, direction: Direction, cycle: int) -> None:
+    def deliver(self, flit: Flit, direction: int, cycle: int) -> None:
         """Buffer an arriving flit into its input VC."""
         port = self.input_ports[direction]
         vc = port.vcs[flit.vc]
@@ -209,7 +213,7 @@ class Router:
             if vc.state is not VcState.IDLE:
                 raise RuntimeError(
                     f"router {self.id}: head arrived at busy VC "
-                    f"{direction.name}/{flit.vc}"
+                    f"{self.topology.port_name(direction)}/{flit.vc}"
                 )
         elif vc.state is VcState.IDLE:
             # Body flit whose head traversed while this router was gated:
@@ -217,7 +221,8 @@ class Router:
             entry = self.bst.lookup(direction, flit.vc)
             if entry is None:
                 raise RuntimeError(
-                    f"router {self.id}: orphan body flit on {direction.name}/{flit.vc}"
+                    f"router {self.id}: orphan body flit on "
+                    f"{self.topology.port_name(direction)}/{flit.vc}"
                 )
             vc.route = entry.output_port
             vc.out_vc = entry.out_vc
@@ -228,7 +233,7 @@ class Router:
         if flit.is_head:
             flit.packet.path.append(self.id)
 
-    def accepts(self, flit: Flit, direction: Direction) -> bool:
+    def accepts(self, flit: Flit, direction: int) -> bool:
         """Whether the input VC the flit targets has a free slot."""
         return self.input_ports[direction].vcs[flit.vc].can_accept()
 
@@ -248,7 +253,7 @@ class Router:
             return
         num_vcs = self.noc.num_vcs
         head_delay = self._head_delay
-        va_requests: dict[Direction, list[tuple[int, InputPort, int]]] = {}
+        va_requests: dict[int, list[tuple[int, InputPort, int]]] = {}
         active: list[tuple[InputPort, int, VirtualChannel]] = []
         for port in self.input_ports.values():
             for vci, vc in enumerate(port.vcs):
@@ -272,7 +277,7 @@ class Router:
     def _vc_allocate(
         self,
         cycle: int,
-        requests: dict[Direction, list[tuple[int, InputPort, int]]],
+        requests: dict[int, list[tuple[int, InputPort, int]]],
         active: list,
     ) -> None:
         for route, reqs in requests.items():
@@ -281,15 +286,29 @@ class Router:
                 continue
             _, port, vci = granted
             vc = port.vcs[vci]
-            if route is Direction.LOCAL:
+            if route in self._ejection_ports:
                 vc.out_vc = 0
             else:
                 down_port = self.downstream_ports.get(route)
                 if down_port is None:
-                    raise RuntimeError(f"router {self.id}: route {route} off-mesh")
-                out_vc = down_port.free_vc_for_head()
-                if out_vc is None:
-                    continue  # no downstream VC free; retry next cycle
+                    raise RuntimeError(f"router {self.id}: route {route} off-fabric")
+                if self._uses_vc_classes:
+                    # Dateline discipline (torus/ring): the head may only
+                    # claim a downstream VC of its class partition.
+                    packet = vc.queue[0][0].packet
+                    cls = self.topology.next_vc_class(
+                        self.id, route, packet.vc_class
+                    )
+                    out_vc = down_port.free_vc_for_head(
+                        self.topology.allowed_vcs(cls, self.noc.num_vcs)
+                    )
+                    if out_vc is None:
+                        continue  # no downstream VC free; retry next cycle
+                    packet.vc_class = cls
+                else:
+                    out_vc = down_port.free_vc_for_head()
+                    if out_vc is None:
+                        continue  # no downstream VC free; retry next cycle
                 down_port.claim(out_vc)
                 vc.out_vc = out_vc
             vc.state = VcState.ACTIVE
@@ -297,7 +316,7 @@ class Router:
             active.append((port, vci, vc))
 
     def _grant_va(
-        self, route: Direction, reqs: list[tuple[int, InputPort, int]]
+        self, route: int, reqs: list[tuple[int, InputPort, int]]
     ) -> tuple[int, InputPort, int] | None:
         arbiter = self._va_arbiters[route]
         lines = [False] * arbiter.size
@@ -311,10 +330,10 @@ class Router:
     def _switch_allocate(self, cycle: int, active: list) -> None:
         if not active:
             return
-        by_port: dict[Direction, list[tuple[int, VirtualChannel]]] = {}
+        by_port: dict[int, list[tuple[int, VirtualChannel]]] = {}
         for port, vci, vc in active:
             by_port.setdefault(port.direction, []).append((vci, vc))
-        nominations: dict[Direction, list[tuple[Direction, int]]] = {}
+        nominations: dict[int, list[tuple[int, int]]] = {}
         for direction, cands in by_port.items():
             choice = self._nominate(direction, cands, cycle)
             if choice is not None:
@@ -323,7 +342,7 @@ class Router:
         for route, noms in nominations.items():
             arbiter = self._output_arbiters[route]
             for _ in range(self._grants_per_output):
-                lines = [False] * NUM_PORTS
+                lines = [False] * self.num_ports
                 by_dir = {}
                 for direction, vci in noms:
                     lines[int(direction)] = True
@@ -337,10 +356,10 @@ class Router:
 
     def _nominate(
         self,
-        direction: Direction,
+        direction: int,
         candidates: list[tuple[int, "VirtualChannel"]],
         cycle: int,
-    ) -> tuple[int, Direction] | None:
+    ) -> tuple[int, int] | None:
         """Pick one ready VC of this input port (round-robin)."""
         lines = [False] * self.noc.num_vcs
         ready: dict[int, VirtualChannel] = {}
@@ -362,8 +381,8 @@ class Router:
             return None
         return winner, ready[winner].route
 
-    def _output_ready(self, route: Direction, out_vc: int, cycle: int) -> bool:
-        if route is Direction.LOCAL:
+    def _output_ready(self, route: int, out_vc: int, cycle: int) -> bool:
+        if route in self._ejection_ports:
             return True
         channel = self.outgoing.get(route)
         if channel is None:
@@ -380,7 +399,7 @@ class Router:
         return True
 
     def _switch_traverse(
-        self, in_dir: Direction, vci: int, route: Direction, cycle: int
+        self, in_dir: int, vci: int, route: int, cycle: int
     ) -> None:
         port = self.input_ports[in_dir]
         vc = port.vcs[vci]
@@ -390,7 +409,7 @@ class Router:
         self.counters.out_flits[int(route)] += 1
 
         is_tail = flit.is_tail
-        if route is Direction.LOCAL:
+        if route in self._ejection_ports:
             if is_tail:
                 self._close(port, vci, vc)
             self.on_eject(flit, cycle)
@@ -432,44 +451,52 @@ class Router:
         congested = sum(1 for c in self.incoming.values() if c.congested)
         return congested >= 2
 
-    def bypass_step(self, cycle: int, source) -> bool:
+    def bypass_step(self, cycle: int, local_sources) -> bool:
         """Forward one flit through the bypass switch (gated router only).
 
-        *source* is the node's :class:`~repro.traffic.injection.SourceQueue`
-        so sporadic local traffic keeps flowing without a wakeup.
-        Returns True when a flit moved.
+        *local_sources* is a list of ``(injection port, SourceQueue)``
+        pairs for the nodes attached to this router, so sporadic local
+        traffic keeps flowing without a wakeup.  Returns True when a flit
+        moved.
         """
         if self.gating.state is not PowerState.GATED or not self.technique.uses_bypass:
             return False
-        lines = [False] * NUM_PORTS
+        lines = [False] * self.num_ports
         candidates: dict[int, object] = {}
         for direction, channel in self.incoming.items():
             ready = channel.deliverable(cycle)
             if ready:
                 lines[int(direction)] = True
-                candidates[int(direction)] = (channel, ready)
-        if source is not None and source.peek() is not None:
-            lines[int(Direction.LOCAL)] = True
+                candidates[int(direction)] = (direction, channel, ready)
+        injectors: dict[int, tuple[int, object]] = {}
+        for port, source in local_sources:
+            if source is not None and source.peek() is not None:
+                lines[int(port)] = True
+                injectors[int(port)] = (port, source)
 
         # Try inputs in round-robin order until one flit actually moves.
-        for _ in range(NUM_PORTS):
+        for _ in range(self.num_ports):
             winner = self._bypass_arbiter.grant(lines)
             if winner is None:
                 return False
             lines[winner] = False
-            if winner == int(Direction.LOCAL):
-                if self._bypass_inject(cycle, source):
+            injector = injectors.get(winner)
+            if injector is not None:
+                port, source = injector
+                if self._bypass_inject(cycle, source, port):
                     return True
             else:
-                channel, ready = candidates[winner]
-                if self._bypass_forward(Direction(winner), channel, ready, cycle):
+                direction, channel, ready = candidates[winner]
+                if self._bypass_forward(direction, channel, ready, cycle):
                     return True
         return False
 
-    def compute_route(self, dst: int) -> Direction:
-        """Route computation: deterministic X-Y by default, or turn-model
-        adaptive selection (congestion- and fault-aware) when configured."""
-        candidates = self._candidates(self.id, dst, self.mesh_width)
+    def compute_route(self, dst: int) -> int:
+        """Route computation toward destination *node* ``dst``:
+        deterministic (X-Y / dimension-ordered / loop-minimal per fabric)
+        by default, or turn-model adaptive selection (congestion- and
+        fault-aware) when configured."""
+        candidates = self.topology.route_candidates(self.id, dst)
         if len(candidates) == 1:
             return candidates[0]
         return select_output(
@@ -480,13 +507,13 @@ class Router:
             neighbor_failed=lambda d: self.downstream_routers[d].failed,
         )
 
-    def _bypass_route_for(self, in_dir: Direction, flit: Flit, cycle: int):
+    def _bypass_route_for(self, in_dir: int, flit: Flit, cycle: int):
         """(route, out_vc) for a bypassed flit, or None when blocked."""
         if flit.is_head:
             route = self.compute_route(flit.packet.dst)
-            if route is Direction.LOCAL:
+            if route in self._ejection_ports:
                 return route, 0
-            out_vc = self._allocate_bypass_vc(route)
+            out_vc = self._allocate_bypass_vc(route, flit.packet)
             if out_vc is None:
                 return None
             if not self.outgoing[route].can_accept(cycle):
@@ -496,24 +523,33 @@ class Router:
         entry = self.bst.lookup(in_dir, flit.vc)
         if entry is None:
             raise RuntimeError(f"router {self.id}: bypassed body flit without BST entry")
-        if entry.output_port is Direction.LOCAL:
+        if entry.output_port in self._ejection_ports:
             return entry.output_port, entry.out_vc
         if not self.outgoing[entry.output_port].can_accept(cycle):
             return None
         return entry.output_port, entry.out_vc
 
-    def _allocate_bypass_vc(self, route: Direction) -> int | None:
+    def _allocate_bypass_vc(self, route: int, packet) -> int | None:
         down_port = self.downstream_ports.get(route)
         if down_port is None:
             return None
-        out_vc = down_port.free_vc_for_head()
-        if out_vc is None:
-            return None
+        if self._uses_vc_classes:
+            cls = self.topology.next_vc_class(self.id, route, packet.vc_class)
+            out_vc = down_port.free_vc_for_head(
+                self.topology.allowed_vcs(cls, self.noc.num_vcs)
+            )
+            if out_vc is None:
+                return None
+            packet.vc_class = cls
+        else:
+            out_vc = down_port.free_vc_for_head()
+            if out_vc is None:
+                return None
         down_port.claim(out_vc)
         return out_vc
 
     def _bypass_forward(
-        self, in_dir: Direction, channel: Channel, ready: list[list], cycle: int
+        self, in_dir: int, channel: Channel, ready: list[list], cycle: int
     ) -> bool:
         blocked_vcs: set[int] = set()
         for entry in ready:
@@ -544,7 +580,7 @@ class Router:
             self.charge(self.power_model.hop_energy_pj(self.hop_scheme, via_bypass=True))
             self.counters.in_flits[int(in_dir)] += 1
             self.counters.out_flits[int(route)] += 1
-            if route is Direction.LOCAL:
+            if route in self._ejection_ports:
                 if flit.is_tail:
                     self._bypass_close(in_dir, in_vc)
                 self.on_eject(flit, cycle)
@@ -562,7 +598,7 @@ class Router:
             return True
         return False
 
-    def _bypass_close(self, in_dir: Direction, in_vc: int) -> None:
+    def _bypass_close(self, in_dir: int, in_vc: int) -> None:
         self.bst.clear(in_dir, in_vc)
         port = self.input_ports[in_dir]
         vc = port.vcs[in_vc]
@@ -570,39 +606,52 @@ class Router:
             vc.close_packet()
         port.unclaim(in_vc)
 
-    def _bypass_inject(self, cycle: int, source) -> bool:
+    def _bypass_inject(self, cycle: int, source, port: int = Direction.LOCAL) -> bool:
         flit = source.peek()
         if flit is None:
             return False
         if flit.is_head:
-            in_vc = self.input_ports[Direction.LOCAL].free_vc_for_head()
+            in_vc = self.input_ports[port].free_vc_for_head()
             if in_vc is None:
                 return False
             route = self.compute_route(flit.packet.dst)
-            out_vc = self._allocate_bypass_vc(route)
-            if out_vc is None:
-                return False
-            if not self.outgoing[route].can_accept(cycle):
-                self.downstream_ports[route].unclaim(out_vc)
-                return False
-            self.input_ports[Direction.LOCAL].claim(in_vc)
+            if route in self._ejection_ports:
+                # Destination shares this router (concentrated mesh):
+                # eject straight out of the bypass switch.
+                out_vc = 0
+            else:
+                out_vc = self._allocate_bypass_vc(route, flit.packet)
+                if out_vc is None:
+                    return False
+                if not self.outgoing[route].can_accept(cycle):
+                    self.downstream_ports[route].unclaim(out_vc)
+                    return False
+            self.input_ports[port].claim(in_vc)
             source.current_vc = in_vc
-            self.bst.record(Direction.LOCAL, in_vc, route, out_vc)
+            self.bst.record(port, in_vc, route, out_vc)
             flit.packet.injection_cycle = cycle
             flit.packet.path.append(self.id)
         else:
             in_vc = source.current_vc
             if in_vc is None:
                 raise RuntimeError(f"router {self.id}: bypass body inject without VC")
-            entry = self.bst.lookup(Direction.LOCAL, in_vc)
+            entry = self.bst.lookup(port, in_vc)
             if entry is None:
                 raise RuntimeError(f"router {self.id}: bypass body inject without BST")
             route, out_vc = entry.output_port, entry.out_vc
-            if not self.outgoing[route].can_accept(cycle):
+            if route not in self._ejection_ports and not self.outgoing[
+                route
+            ].can_accept(cycle):
                 return False
         source.pop()
         self.charge(self.power_model.hop_energy_pj(self.hop_scheme, via_bypass=True))
         self.counters.out_flits[int(route)] += 1
+        if route in self._ejection_ports:
+            if flit.is_tail:
+                self._bypass_close(port, in_vc)
+                source.current_vc = None
+            self.on_eject(flit, cycle)
+            return True
         flit.vc = out_vc
         flit.hops += 1
         out_channel = self.outgoing[route]
@@ -612,7 +661,7 @@ class Router:
             keep_copy=out_channel.function is ChannelFunction.RETRANSMISSION,
         )
         if flit.is_tail:
-            self._bypass_close(Direction.LOCAL, in_vc)
+            self._bypass_close(port, in_vc)
             source.current_vc = None
         return True
 

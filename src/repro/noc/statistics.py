@@ -11,8 +11,6 @@ Two scopes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
 from repro.noc.routing import NUM_PORTS
@@ -61,21 +59,35 @@ class ReservoirSample:
             self.samples[slot] = value
 
 
-@dataclass
 class RouterEpochCounters:
-    """Per-router activity within the current control epoch."""
+    """Per-router activity within the current control epoch.
 
-    in_flits: np.ndarray = field(default_factory=lambda: np.zeros(NUM_PORTS, dtype=np.int64))
-    out_flits: np.ndarray = field(default_factory=lambda: np.zeros(NUM_PORTS, dtype=np.int64))
-    occupancy_samples: np.ndarray = field(
-        default_factory=lambda: np.zeros(NUM_PORTS, dtype=np.float64)
+    Arrays are sized by the router's port count — 5 on the mesh/torus,
+    3 on the ring, ``4 + c`` on a concentrated mesh.
+    """
+
+    __slots__ = (
+        "num_ports",
+        "in_flits",
+        "out_flits",
+        "occupancy_samples",
+        "num_occupancy_samples",
+        "error_classes",
+        "latency_sum",
+        "latency_count",
     )
-    num_occupancy_samples: int = 0
-    # Error-class histogram of flits received this epoch:
-    # [clean, 1-bit, 2-bit, >=3-bit] — drives the CPD heuristic.
-    error_classes: np.ndarray = field(default_factory=lambda: np.zeros(4, dtype=np.int64))
-    latency_sum: int = 0  # latency of packets sourced here that completed
-    latency_count: int = 0
+
+    def __init__(self, num_ports: int = NUM_PORTS):
+        self.num_ports = num_ports
+        self.in_flits = np.zeros(num_ports, dtype=np.int64)
+        self.out_flits = np.zeros(num_ports, dtype=np.int64)
+        self.occupancy_samples = np.zeros(num_ports, dtype=np.float64)
+        self.num_occupancy_samples = 0
+        # Error-class histogram of flits received this epoch:
+        # [clean, 1-bit, 2-bit, >=3-bit] — drives the CPD heuristic.
+        self.error_classes = np.zeros(4, dtype=np.int64)
+        self.latency_sum = 0  # latency of packets sourced here that completed
+        self.latency_count = 0
 
     def reset(self) -> None:
         self.in_flits[:] = 0
@@ -91,16 +103,17 @@ class RouterEpochCounters:
 
     def mean_buffer_utilization(self) -> np.ndarray:
         if self.num_occupancy_samples == 0:
-            return np.zeros(NUM_PORTS)
+            return np.zeros(self.num_ports)
         return self.occupancy_samples / self.num_occupancy_samples
 
 
 class NetworkStatistics:
     """Whole-run statistics plus per-router epoch counters."""
 
-    def __init__(self, num_routers: int, seed: int = 0):
+    def __init__(self, num_routers: int, seed: int = 0, num_ports: int = NUM_PORTS):
         self.num_routers = num_routers
-        self.routers = [RouterEpochCounters() for _ in range(num_routers)]
+        self.num_ports = num_ports
+        self.routers = [RouterEpochCounters(num_ports) for _ in range(num_routers)]
 
         # Run totals.
         self.packets_injected = 0

@@ -1,11 +1,153 @@
-"""2D-mesh topology arithmetic."""
+"""Interconnect topologies: the abstract graph contract plus the 2D mesh.
+
+A :class:`Topology` describes everything the simulator needs to know about
+the interconnect *graph* — router count, per-router port sets, directed
+channel enumeration, a deadlock-free routing function, and a distance
+metric — so the cycle-level machinery (routers, channels, fault models,
+RL control) stays fabric-agnostic.  The paper's Table 1 configuration is
+:class:`MeshTopology`; :mod:`repro.noc.torus`, :mod:`repro.noc.cmesh` and
+:mod:`repro.noc.ring` register further fabrics.
+
+Two id spaces matter:
+
+* **nodes** — traffic endpoints (cores), always the full ``width x height``
+  grid; trace events and packets address nodes.
+* **routers** — switch instances; equal to nodes except under
+  concentration (cmesh), where several nodes share one router.
+
+Port ids are plain ints.  Ports ``0..4`` reuse the
+:class:`~repro.noc.routing.Direction` encoding (LOCAL, EAST, WEST, NORTH,
+SOUTH); fabrics with extra ejection ports (cmesh) use ids ``5+``.  Every
+*inter-router* channel is keyed by a ``Direction`` member and satisfies
+``dst input port == direction.opposite`` — extra local ports never carry
+channels, so channel bookkeeping is identical across fabrics.
+"""
 
 from __future__ import annotations
 
-from repro.noc.routing import MESH_DIRECTIONS, Direction
+import abc
+from typing import TYPE_CHECKING, Callable, ClassVar
+
+from repro.noc.adaptive_routing import CANDIDATE_FUNCTIONS
+from repro.noc.routing import MESH_DIRECTIONS, Direction, hop_count
+
+if TYPE_CHECKING:
+    from repro.config import NocConfig
 
 
-class MeshTopology:
+class Topology(abc.ABC):
+    """Abstract interconnect graph.
+
+    Subclasses fix the router/channel structure at construction; all
+    methods are pure functions of that structure (no simulation state).
+    """
+
+    #: Registry key; also the value of ``NocConfig.topology``.
+    name: ClassVar[str] = ""
+    #: Whether routing partitions VCs into dateline classes (torus/ring).
+    uses_vc_classes: ClassVar[bool] = False
+
+    width: int
+    height: int
+    routing: str
+
+    # --- structure -----------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Traffic endpoints — always the full node grid."""
+        return self.width * self.height
+
+    @property
+    @abc.abstractmethod
+    def num_routers(self) -> int:
+        """Number of switch instances."""
+
+    @property
+    @abc.abstractmethod
+    def num_ports(self) -> int:
+        """Uniform per-router port count (input and output)."""
+
+    @property
+    @abc.abstractmethod
+    def ports(self) -> tuple[int, ...]:
+        """Port ids of every router, in canonical (index) order."""
+
+    @abc.abstractmethod
+    def channels(self) -> list[tuple[int, Direction, int]]:
+        """All directed inter-router channels as (src, out direction, dst).
+
+        Enumeration order is part of the determinism contract: channels
+        are delivered in this order every cycle.
+        """
+
+    # --- node/router mapping ---------------------------------------------------
+
+    @abc.abstractmethod
+    def router_of_node(self, node: int) -> int:
+        """The router a node's NI is attached to."""
+
+    @abc.abstractmethod
+    def local_nodes(self, router: int) -> tuple[int, ...]:
+        """Nodes attached to *router*, in local-slot order."""
+
+    @abc.abstractmethod
+    def injection_port(self, node: int) -> int:
+        """Port on ``router_of_node(node)`` where *node* injects/ejects."""
+
+    @abc.abstractmethod
+    def ejection_ports(self, router: int) -> frozenset[int]:
+        """All ports of *router* that eject to a local NI."""
+
+    # --- routing ---------------------------------------------------------------
+
+    @abc.abstractmethod
+    def route_candidates(self, current: int, dst_node: int) -> list[int]:
+        """Productive output ports at router *current* toward *dst_node*.
+
+        Returns the destination node's ejection port when the packet has
+        arrived.  Every returned port must strictly reduce
+        ``distance``-to-destination (minimal routing), and following any
+        sequence of candidates must be deadlock-free under this fabric's
+        VC discipline.
+        """
+
+    @abc.abstractmethod
+    def distance(self, src_node: int, dst_node: int) -> int:
+        """Minimal router-to-router hop count between two nodes' routers."""
+
+    # --- VC classes (dateline deadlock avoidance) -------------------------------
+
+    def next_vc_class(self, router: int, out_port: int, current: int) -> int:
+        """VC class a packet enters when leaving *router* via *out_port*."""
+        return 0
+
+    def allowed_vcs(self, vc_class: int, num_vcs: int) -> range:
+        """Downstream VC indices a packet of *vc_class* may claim."""
+        return range(num_vcs)
+
+    # --- physical layout / labels ----------------------------------------------
+
+    @abc.abstractmethod
+    def thermal_neighbors(self, router: int) -> list[int]:
+        """Laterally coupled routers for the lumped thermal model."""
+
+    def port_name(self, port: int) -> str:
+        """Human-readable label for snapshots and telemetry."""
+        if 0 <= port < 5:
+            return Direction(port).name
+        return f"LOCAL{port - 4}"
+
+    def _check(self, router: int) -> None:
+        if not 0 <= router < self.num_routers:
+            raise ValueError(f"router {router} outside 0..{self.num_routers - 1}")
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} outside 0..{self.num_nodes - 1}")
+
+
+class MeshTopology(Topology):
     """Coordinates, neighbors and channel enumeration for a W x H mesh.
 
     >>> m = MeshTopology(8, 8)
@@ -15,15 +157,28 @@ class MeshTopology:
     True
     """
 
-    def __init__(self, width: int, height: int):
+    name = "mesh"
+
+    def __init__(self, width: int, height: int, routing: str = "xy"):
         if width < 2 or height < 2:
             raise ValueError("mesh must be at least 2x2")
         self.width = width
         self.height = height
+        self.routing = routing
+        self._candidate_fn = CANDIDATE_FUNCTIONS[routing]
+        self._ejection = frozenset({Direction.LOCAL})
 
     @property
     def num_routers(self) -> int:
         return self.width * self.height
+
+    @property
+    def num_ports(self) -> int:
+        return 5
+
+    @property
+    def ports(self) -> tuple[int, ...]:
+        return tuple(Direction)
 
     def coordinates(self, router: int) -> tuple[int, int]:
         self._check(router)
@@ -58,6 +213,81 @@ class MeshTopology:
                     out.append((router, direction, neighbor))
         return out
 
-    def _check(self, router: int) -> None:
-        if not 0 <= router < self.num_routers:
-            raise ValueError(f"router {router} outside 0..{self.num_routers - 1}")
+    def router_of_node(self, node: int) -> int:
+        self._check_node(node)
+        return node
+
+    def local_nodes(self, router: int) -> tuple[int, ...]:
+        self._check(router)
+        return (router,)
+
+    def injection_port(self, node: int) -> int:
+        self._check_node(node)
+        return Direction.LOCAL
+
+    def ejection_ports(self, router: int) -> frozenset[int]:
+        return self._ejection
+
+    def route_candidates(self, current: int, dst_node: int) -> list[int]:
+        return list(self._candidate_fn(current, dst_node, self.width))
+
+    def distance(self, src_node: int, dst_node: int) -> int:
+        return hop_count(src_node, dst_node, self.width)
+
+    def thermal_neighbors(self, router: int) -> list[int]:
+        x, y = self.coordinates(router)
+        out = []
+        if x > 0:
+            out.append(router - 1)
+        if x < self.width - 1:
+            out.append(router + 1)
+        if y > 0:
+            out.append(router - self.width)
+        if y < self.height - 1:
+            out.append(router + self.width)
+        return out
+
+
+# --- registry -----------------------------------------------------------------
+
+#: name -> builder(NocConfig) -> Topology.  Populated by register_topology;
+#: the concrete fabric modules self-register on import.
+TOPOLOGY_BUILDERS: dict[str, Callable[["NocConfig"], Topology]] = {}
+
+
+def register_topology(
+    name: str, builder: Callable[["NocConfig"], Topology]
+) -> None:
+    """Register a fabric under ``NocConfig.topology == name``."""
+    TOPOLOGY_BUILDERS[name] = builder
+
+
+register_topology(
+    "mesh", lambda noc: MeshTopology(noc.width, noc.height, routing=noc.routing)
+)
+
+
+def build_topology(noc: "NocConfig") -> Topology:
+    """Instantiate the topology a :class:`~repro.config.NocConfig` names."""
+    # The concrete fabric modules register themselves on first import.
+    import repro.noc.cmesh  # noqa: F401  (self-registration import)
+    import repro.noc.ring  # noqa: F401
+    import repro.noc.torus  # noqa: F401
+
+    try:
+        builder = TOPOLOGY_BUILDERS[noc.topology]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {noc.topology!r}; "
+            f"registered: {sorted(TOPOLOGY_BUILDERS)}"
+        ) from None
+    return builder(noc)
+
+
+def registered_topologies() -> list[str]:
+    """Names accepted by :func:`build_topology` (import side effects included)."""
+    import repro.noc.cmesh  # noqa: F401
+    import repro.noc.ring  # noqa: F401
+    import repro.noc.torus  # noqa: F401
+
+    return sorted(TOPOLOGY_BUILDERS)

@@ -95,7 +95,9 @@ class InputPort:
 
     __slots__ = ("direction", "vcs", "claimed")
 
-    def __init__(self, direction: Direction, num_vcs: int, depth: int):
+    def __init__(self, direction: int, num_vcs: int, depth: int):
+        # Port id: a Direction member for the five classic ports, a plain
+        # int for a cmesh extra local port.
         self.direction = direction
         self.vcs = [VirtualChannel(depth) for _ in range(num_vcs)]
         self.claimed: set[int] = set()
@@ -112,9 +114,15 @@ class InputPort:
     def has_flits(self) -> bool:
         return any(vc.queue for vc in self.vcs)
 
-    def free_vc_for_head(self) -> int | None:
-        """A VC able to start a new packet (IDLE, unclaimed, with space)."""
-        for i, vc in enumerate(self.vcs):
+    def free_vc_for_head(self, allowed: "range | None" = None) -> int | None:
+        """A VC able to start a new packet (IDLE, unclaimed, with space).
+
+        *allowed* restricts the scan to a VC-class partition (dateline
+        routing on torus/ring fabrics); None scans every VC.
+        """
+        indices = range(len(self.vcs)) if allowed is None else allowed
+        for i in indices:
+            vc = self.vcs[i]
             if (
                 vc.state is VcState.IDLE
                 and i not in self.claimed

@@ -36,9 +36,9 @@ class RouterObservation:
     """Everything a control policy may observe about one router, per epoch."""
 
     router: int
-    in_link_utilization: np.ndarray  # 5 entries, flits/cycle
-    buffer_utilization: np.ndarray  # 5 entries, fraction
-    out_link_utilization: np.ndarray  # 5 entries, flits/cycle
+    in_link_utilization: np.ndarray  # one entry per port, flits/cycle
+    buffer_utilization: np.ndarray  # one entry per port, fraction
+    out_link_utilization: np.ndarray  # one entry per port, flits/cycle
     temperature: float  # kelvin
     epoch_power_w: float
     epoch_latency: float  # avg latency of packets sourced here (cycles)
@@ -76,8 +76,14 @@ class RouterObservation:
 
 
 class StateExtractor:
-    """Discretizes observations into hashable Q-table state keys."""
+    """Discretizes observations into hashable Q-table state keys.
 
+    The feature count follows the router's port count (``3 * ports + 1``):
+    16 on the five-port mesh/torus (Fig. 7), 10 on the three-port ring,
+    and ``3 * (4 + c) + 1`` on a concentrated mesh.
+    """
+
+    #: Feature count for the paper's five-port configuration.
     NUM_FEATURES = 3 * NUM_PORTS + 1
 
     def __init__(self, num_bins: int = 5):
@@ -122,5 +128,5 @@ class StateExtractor:
         bits = (
             in_bins + buf_bins + out_bins + [self._discretize(obs.temperature, lo, hi)]
         )
-        assert len(bits) == self.NUM_FEATURES
+        assert len(bits) == 3 * len(obs.in_link_utilization) + 1
         return tuple(bits)

@@ -11,9 +11,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.traffic.trace import Trace
+
+if TYPE_CHECKING:
+    from repro.noc.topology import Topology
 
 
 @dataclass(frozen=True)
@@ -26,7 +31,7 @@ class TraceProfile:
     injection_rate: float  # packets/node/cycle
     offered_load: float  # flits/node/cycle
     reply_fraction: float
-    avg_hop_distance: float  # Manhattan hops between endpoints
+    avg_hop_distance: float  # minimal router hops between endpoints
     hotspot_concentration: float  # traffic share of the top-4 destinations
     locality_fraction: float  # packets within 2 hops
     burstiness_index: float  # variance/mean of per-epoch counts (1 = Poisson)
@@ -43,9 +48,18 @@ class TraceProfile:
 
 
 def analyze_trace(
-    trace: Trace, num_nodes: int, width: int, epoch: int = 100
+    trace: Trace,
+    num_nodes: int,
+    width: int,
+    epoch: int = 100,
+    topology: "Topology | None" = None,
 ) -> TraceProfile:
-    """Measure a trace's intensity, spatial skew, and temporal structure."""
+    """Measure a trace's intensity, spatial skew, and temporal structure.
+
+    Hop distances use *topology*'s distance metric when given (so a torus
+    trace reports wraparound-minimal hops and a cmesh trace router hops);
+    without one they fall back to mesh Manhattan distance on *width*.
+    """
     if num_nodes < 1 or width < 1:
         raise ValueError("need a positive topology")
     if epoch < 1:
@@ -59,7 +73,18 @@ def analyze_trace(
     cycles = np.array([e.cycle for e in trace])
     replies = np.array([e.reply for e in trace])
 
-    hops = np.abs(srcs % width - dsts % width) + np.abs(srcs // width - dsts // width)
+    if topology is not None:
+        # Memoized per (src, dst) node pair: traces revisit the same
+        # endpoint pairs constantly, and the fabric has at most O(N^2).
+        pair_hops: dict[tuple[int, int], int] = {}
+        hops = np.array([
+            pair_hops.setdefault((s, d), topology.distance(s, d))
+            for s, d in zip(srcs.tolist(), dsts.tolist())
+        ])
+    else:
+        hops = np.abs(srcs % width - dsts % width) + np.abs(
+            srcs // width - dsts // width
+        )
     dst_counts = np.bincount(dsts, minlength=num_nodes)
     top4 = np.sort(dst_counts)[-4:].sum()
 

@@ -8,6 +8,7 @@ channel reconfiguration.  These tests pin that boundary.
 from repro.config import CPD, PowerConfig
 from repro.noc.router import Router
 from repro.noc.statistics import RouterEpochCounters
+from repro.noc.topology import MeshTopology
 
 
 def cpd_router():
@@ -15,7 +16,7 @@ def cpd_router():
         5,
         CPD,
         PowerConfig(),
-        mesh_width=8,
+        topology=MeshTopology(8, 8),
         counters=RouterEpochCounters(),
         charge=lambda e: None,
         on_eject=lambda f, c: None,

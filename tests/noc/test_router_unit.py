@@ -14,6 +14,7 @@ from repro.noc.power_gating import PowerState
 from repro.noc.router import MODE_SCHEME, Router
 from repro.noc.routing import Direction
 from repro.noc.statistics import RouterEpochCounters
+from repro.noc.topology import MeshTopology
 
 
 def bare_router(technique=SECDED_BASELINE, rid=9):
@@ -23,7 +24,7 @@ def bare_router(technique=SECDED_BASELINE, rid=9):
         rid,
         technique,
         PowerConfig(),
-        mesh_width=8,
+        topology=MeshTopology(8, 8),
         counters=RouterEpochCounters(),
         charge=charges.append,
         on_eject=lambda f, c: ejected.append(f),

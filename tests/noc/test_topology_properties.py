@@ -1,0 +1,227 @@
+"""Property-style invariants every registered topology must satisfy.
+
+These tests run against *every* fabric in the registry (parameterized by
+``NocConfig``), so a newly registered topology is covered automatically:
+
+* structural consistency — channels reference real routers/ports, every
+  channel has a reverse channel, node<->router maps roundtrip;
+* routing — following candidates always makes progress and reaches the
+  destination in exactly ``distance()`` hops;
+* liveness — a short saturated run under the NoCSan deadlock watchdog
+  completes without invariant violations;
+* spec hashing — each fabric produces a distinct CellSpec hash while the
+  legacy mesh hash stays free of the new config fields.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import (
+    INTELLINOC,
+    NocConfig,
+    SECDED_BASELINE,
+    SimulationConfig,
+    canonical_value,
+    fingerprint,
+)
+from repro.noc.routing import Direction
+from repro.noc.topology import build_topology, registered_topologies
+
+#: One representative small fabric configuration per registered topology,
+#: as overrides applied onto whatever NocConfig a technique already has
+#: (techniques carry their own channel/MFAC parameters).
+FABRIC_OVERRIDES = {
+    "mesh": dict(width=4, height=4),
+    "torus": dict(width=4, height=4, topology="torus"),
+    "ring": dict(width=4, height=4, topology="ring"),
+    "cmesh-c2": dict(width=4, height=4, topology="cmesh", concentration=2),
+    "cmesh-c4": dict(width=4, height=4, topology="cmesh", concentration=4),
+}
+FABRIC_CONFIGS = {
+    name: NocConfig(**over) for name, over in FABRIC_OVERRIDES.items()
+}
+
+
+@pytest.fixture(params=sorted(FABRIC_CONFIGS), name="noc")
+def noc_fixture(request):
+    return FABRIC_CONFIGS[request.param]
+
+
+def test_every_registered_topology_is_covered():
+    covered = {cfg.topology for cfg in FABRIC_CONFIGS.values()}
+    assert covered == set(registered_topologies())
+
+
+class TestStructure:
+    def test_channels_reference_real_ports(self, noc):
+        topo = build_topology(noc)
+        ports_ok = set(topo.ports)
+        assert len(topo.ports) == topo.num_ports
+        for src, direction, dst in topo.channels():
+            assert 0 <= src < topo.num_routers
+            assert 0 <= dst < topo.num_routers
+            assert isinstance(direction, Direction)
+            assert direction in ports_ok
+            assert direction.opposite in ports_ok
+
+    def test_channels_have_reverse(self, noc):
+        """Wormhole credit return needs a back channel for every link."""
+        topo = build_topology(noc)
+        endpoints = {(src, dst) for src, _, dst in topo.channels()}
+        for src, dst in endpoints:
+            assert (dst, src) in endpoints
+
+    def test_channel_enumeration_is_unique(self, noc):
+        topo = build_topology(noc)
+        chans = topo.channels()
+        assert len({(src, int(d)) for src, d, _ in chans}) == len(chans)
+
+    def test_node_router_roundtrip(self, noc):
+        topo = build_topology(noc)
+        seen: set[int] = set()
+        for rid in range(topo.num_routers):
+            locals_ = topo.local_nodes(rid)
+            assert locals_, f"router {rid} has no attached nodes"
+            for node in locals_:
+                assert topo.router_of_node(node) == rid
+                assert node not in seen
+                seen.add(node)
+        assert seen == set(range(topo.num_nodes))
+
+    def test_injection_ports_are_ejection_ports(self, noc):
+        topo = build_topology(noc)
+        for node in range(topo.num_nodes):
+            rid = topo.router_of_node(node)
+            port = topo.injection_port(node)
+            assert port in topo.ejection_ports(rid)
+            assert port in set(topo.ports)
+
+    def test_distinct_locals_get_distinct_ports(self, noc):
+        """Concentrated routers must not share one NI port between cores."""
+        topo = build_topology(noc)
+        for rid in range(topo.num_routers):
+            ports = [topo.injection_port(n) for n in topo.local_nodes(rid)]
+            assert len(set(ports)) == len(ports)
+
+    def test_thermal_neighbors_are_symmetric(self, noc):
+        topo = build_topology(noc)
+        neigh = [set(topo.thermal_neighbors(r)) for r in range(topo.num_routers)]
+        for rid, peers in enumerate(neigh):
+            assert rid not in peers
+            for p in peers:
+                assert rid in neigh[p]
+
+
+class TestRouting:
+    def test_routing_reaches_destination_in_distance_hops(self, noc):
+        topo = build_topology(noc)
+        link = {(src, int(d)): dst for src, d, dst in topo.channels()}
+        for src in range(topo.num_nodes):
+            for dst in range(topo.num_nodes):
+                if src == dst:
+                    continue
+                expected = topo.distance(src, dst)
+                current = topo.router_of_node(src)
+                hops = 0
+                while True:
+                    candidates = topo.route_candidates(current, dst)
+                    assert candidates, f"no route at router {current} -> node {dst}"
+                    if candidates[0] in topo.ejection_ports(current):
+                        assert candidates == [topo.injection_port(dst)]
+                        assert current == topo.router_of_node(dst)
+                        break
+                    # Every candidate must exist as a channel and shrink the
+                    # remaining distance (minimal routing).
+                    for port in candidates:
+                        assert (current, int(port)) in link
+                    current = link[(current, int(candidates[0]))]
+                    hops += 1
+                    assert hops <= expected, f"detour {src}->{dst}"
+                assert hops == expected
+
+    def test_distance_metric_sanity(self, noc):
+        topo = build_topology(noc)
+        for src in range(topo.num_nodes):
+            assert topo.distance(src, src) == 0
+            for dst in range(topo.num_nodes):
+                assert topo.distance(src, dst) == topo.distance(dst, src)
+
+    def test_vc_classes_partition_the_vcs(self, noc):
+        topo = build_topology(noc)
+        num_vcs = 4
+        if not topo.uses_vc_classes:
+            for cls in range(4):
+                assert topo.allowed_vcs(cls, num_vcs) == range(num_vcs)
+            return
+        for cls in range(4):
+            allowed = topo.allowed_vcs(cls, num_vcs)
+            assert len(allowed) >= 1
+            assert set(allowed) <= set(range(num_vcs))
+        # Pre- and post-dateline classes of a dimension must be disjoint
+        # (this is what breaks the cyclic channel dependency).
+        assert not set(topo.allowed_vcs(0, num_vcs)) & set(
+            topo.allowed_vcs(1, num_vcs)
+        )
+
+    def test_next_vc_class_is_idempotent(self, noc):
+        """The bypass path may recompute the class at the same hop."""
+        topo = build_topology(noc)
+        if not topo.uses_vc_classes:
+            return
+        for src, direction, _ in topo.channels():
+            for cls in range(4):
+                once = topo.next_vc_class(src, direction, cls)
+                assert topo.next_vc_class(src, direction, once) == once
+
+
+class TestLiveness:
+    @pytest.mark.parametrize("tech", [SECDED_BASELINE, INTELLINOC],
+                             ids=lambda t: t.name)
+    @pytest.mark.parametrize("fabric", sorted(FABRIC_OVERRIDES))
+    def test_saturated_run_is_sanitizer_clean(self, fabric, tech, tmp_path):
+        """Watchdog-supervised run at saturating load: no deadlock, no
+        invariant violation, and real forward progress."""
+        from repro.analysis.sanitizer import NocSanitizer
+        from repro.noc.network import Network
+        from repro.traffic.patterns import SyntheticPattern, generate_synthetic_trace
+        from repro.utils.rng import make_rng
+
+        noc = replace(tech.noc, **FABRIC_OVERRIDES[fabric])
+        technique = replace(tech, noc=noc)
+        trace = generate_synthetic_trace(
+            SyntheticPattern.UNIFORM, noc.num_nodes, noc.width,
+            duration=400, injection_rate=0.35, packet_size=2,
+            rng=make_rng(11, "topology-saturation"),
+        )
+        sanitizer = NocSanitizer(
+            interval=16, watchdog_cycles=1_200, snapshot_dir=tmp_path
+        )
+        config = SimulationConfig(technique=technique, seed=11)
+        network = Network(config, trace, sanitizer=sanitizer)
+        network.run(1_500)  # raises InvariantViolation on any failure
+        assert sanitizer.checks_run > 0
+        assert sanitizer.violations_seen == 0
+        assert network.stats.packets_completed > 0
+
+
+class TestSpecHashing:
+    def test_fabrics_hash_distinctly(self):
+        hashes = {
+            name: fingerprint(
+                SimulationConfig(technique=replace(SECDED_BASELINE, noc=cfg), seed=1)
+            )
+            for name, cfg in FABRIC_CONFIGS.items()
+        }
+        assert len(set(hashes.values())) == len(hashes)
+
+    def test_legacy_mesh_payload_has_no_new_fields(self):
+        """Default-valued topology fields must stay out of the canonical
+        form, preserving every pre-refactor cache key and spec hash."""
+        import json
+
+        payload = json.dumps(canonical_value(NocConfig()))
+        assert "topology" not in payload
+        assert "concentration" not in payload
+        torus = json.dumps(canonical_value(NocConfig(topology="torus")))
+        assert "torus" in torus
