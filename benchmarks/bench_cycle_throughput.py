@@ -11,7 +11,10 @@ change that intends to move these numbers.  The canonical operating
 points are the 8x8 mesh under uniform traffic at 0.1 (nominal) and 0.4
 (saturating) packets/node/cycle; both the static baseline and the full
 IntelliNoC control stack are timed, since their hot paths differ (the RL
-technique exercises gating, bypass, and the control epoch).
+technique exercises gating, bypass, and the control epoch).  Two extra
+IntelliNoC points measure the fault-scenario engine: ``scenario=""``
+confirms the disabled hooks are free, ``scenario="aging-cliff"`` prices
+a run with live structural damage (drops, reroutes, dead routers).
 
 Wall-clock numbers are machine-dependent — compare ratios across commits
 on the same host, not absolute values across hosts.
@@ -22,6 +25,7 @@ from __future__ import annotations
 import json
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 
 from repro.config import INTELLINOC, SECDED_BASELINE, SimulationConfig
@@ -37,7 +41,11 @@ INJECTION_RATES = (0.1, 0.4)
 TECHNIQUES = (SECDED_BASELINE, INTELLINOC)
 
 
-def time_point(technique, injection_rate: float) -> dict:
+def time_point(technique, injection_rate: float, scenario: str | None = None) -> dict:
+    if scenario is not None:
+        technique = replace(
+            technique, noc=replace(technique.noc, fault_scenario=scenario)
+        )
     noc = technique.noc
     trace = generate_synthetic_trace(
         SyntheticPattern.UNIFORM,
@@ -62,6 +70,7 @@ def time_point(technique, injection_rate: float) -> dict:
         "technique": technique.name,
         "topology": noc.topology,
         "grid": f"{noc.width}x{noc.height}",
+        "scenario": noc.fault_scenario,
         "injection_rate": injection_rate,
         "simulated_cycles": DURATION,
         "wall_seconds": round(elapsed, 4),
@@ -74,16 +83,27 @@ def time_point(technique, injection_rate: float) -> dict:
 
 def main() -> int:
     points = []
-    for technique in TECHNIQUES:
-        for rate in INJECTION_RATES:
-            point = time_point(technique, rate)
-            points.append(point)
-            print(
-                f"{point['technique']:>10s} @ {rate:.1f}: "
-                f"{point['cycles_per_second']:>9.0f} cyc/s  "
-                f"{point['flits_per_second']:>9.0f} flit/s  "
-                f"({point['wall_seconds']:.2f}s wall)"
-            )
+    # (technique, rate, scenario): None = no engine constructed at all,
+    # "" = engine hooks present but disabled (must price the same),
+    # "aging-cliff" = live structural damage.
+    grid = [
+        (technique, rate, None)
+        for technique in TECHNIQUES
+        for rate in INJECTION_RATES
+    ] + [
+        (INTELLINOC, 0.1, ""),
+        (INTELLINOC, 0.1, "aging-cliff"),
+    ]
+    for technique, rate, scenario in grid:
+        point = time_point(technique, rate, scenario=scenario)
+        points.append(point)
+        tag = f" [{scenario or 'scenario off'}]" if scenario is not None else ""
+        print(
+            f"{point['technique']:>10s} @ {rate:.1f}: "
+            f"{point['cycles_per_second']:>9.0f} cyc/s  "
+            f"{point['flits_per_second']:>9.0f} flit/s  "
+            f"({point['wall_seconds']:.2f}s wall){tag}"
+        )
     payload = {
         "benchmark": "cycle_throughput",
         "duration": DURATION,

@@ -87,7 +87,13 @@ _SIM_TIMER_CALLS = frozenset(
 #: repro.<pkg> packages at simulation altitude — the hardware models plus
 #: the telemetry observers embedded in them: they must import neither the
 #: campaign engine nor the presentation layers.
-_SIM_PACKAGES = ("repro.noc", "repro.channels", "repro.rl", "repro.telemetry")
+_SIM_PACKAGES = (
+    "repro.noc",
+    "repro.channels",
+    "repro.rl",
+    "repro.telemetry",
+    "repro.faults",
+)
 _ORCHESTRATION_PACKAGES = ("repro.exec", "repro.cli", "repro.report")
 
 _MUTABLE_CONSTRUCTORS = frozenset(

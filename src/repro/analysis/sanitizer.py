@@ -18,6 +18,9 @@ Invariants (catalogued with rationale in ``docs/analysis.md``):
   its Buffer State Table entry; BST entries must reference real ports.
 * **gated buffers** — a power-gated router holds no buffered flits (its
   pipeline state is off; the bypass works out of the channels).
+* **delivery accounting** — no silent packet loss: every injected packet
+  is completed, dropped-with-reason, or demonstrably still in flight; a
+  quiescent network must account for every injected packet exactly.
 * **Q-table finiteness** — no RL agent's action values are NaN/inf.
 * **deadlock watchdog** — if no flit makes progress for ``watchdog_cycles``
   while work is pending, dump a structured network snapshot to the run
@@ -118,6 +121,7 @@ class NocSanitizer:
         self._check_credit_conservation(network, cycle)
         self._check_bst_consistency(network, cycle)
         self._check_gated_buffers(network, cycle)
+        self._check_delivery_accounting(network, cycle)
         self._check_qtables(network, cycle)
         self._check_watchdog(network, cycle)
 
@@ -144,17 +148,18 @@ class NocSanitizer:
                 )
 
     def _check_flit_conservation(self, network: "Network", cycle: int) -> None:
-        """sourced == ejected + buffered-in-routers + in-flight-on-channels."""
+        """sourced == ejected + buffered + in-flight + dropped-with-reason."""
         sourced = sum(s.flits_popped for s in network.sources)
         ejected = network.stats.flits_ejected_total
         buffered = sum(r._flit_count for r in network.routers)
         in_flight = sum(len(c.queue) for c in network.channels)
-        if sourced != ejected + buffered + in_flight:
+        dropped = network.stats.flits_dropped
+        if sourced != ejected + buffered + in_flight + dropped:
             self._fail(
                 network, "flit-conservation", cycle,
                 f"sourced={sourced} != ejected={ejected} + buffered={buffered}"
-                f" + in_flight={in_flight} (leak of "
-                f"{sourced - ejected - buffered - in_flight} flits)",
+                f" + in_flight={in_flight} + dropped={dropped} (leak of "
+                f"{sourced - ejected - buffered - in_flight - dropped} flits)",
             )
 
     def _check_credit_conservation(self, network: "Network", cycle: int) -> None:
@@ -240,6 +245,38 @@ class NocSanitizer:
                     f"{router._flit_count} buffered flits",
                 )
 
+    def _check_delivery_accounting(self, network: "Network", cycle: int) -> None:
+        """No silent packet loss: every injected packet must end up
+        completed, dropped-with-reason, or still in flight — and once the
+        network is quiescent the three resolved buckets must cover the
+        injected count exactly."""
+        stats = network.stats
+        resolved = stats.packets_resolved
+        if resolved > stats.packets_injected:
+            self._fail(
+                network, "delivery-accounting", cycle,
+                f"resolved packets ({stats.packets_completed} completed + "
+                f"{stats.packets_dropped} dropped + "
+                f"{stats.packets_undeliverable} undeliverable) exceed "
+                f"injected={stats.packets_injected}",
+            )
+        if network._trace_index < len(network._events):
+            return  # workload still arriving
+        pending_sources = sum(s.pending_packets for s in network.sources)
+        buffered = sum(r._flit_count for r in network.routers)
+        in_flight = sum(len(c.queue) for c in network.channels)
+        if pending_sources or buffered or in_flight:
+            return  # packets legitimately in flight
+        if resolved != stats.packets_injected:
+            self._fail(
+                network, "delivery-accounting", cycle,
+                f"network is quiescent but only {resolved} of "
+                f"{stats.packets_injected} injected packets are accounted "
+                f"for (completed={stats.packets_completed}, "
+                f"dropped={stats.packets_dropped}, "
+                f"undeliverable={stats.packets_undeliverable}): silent loss",
+            )
+
     def _check_qtables(self, network: "Network", cycle: int) -> None:
         if self.checks_run % QTABLE_CHECK_EVERY != 1:
             return
@@ -276,6 +313,12 @@ class NocSanitizer:
             in_flight,
             pending_sources,
             network._trace_index,
+            # Scenario drops are progress too: a degraded network resolving
+            # packets by refusal must not trip the deadlock watchdog.
+            stats.flits_dropped,
+            stats.packets_undeliverable,
+            stats.packets_dropped_dead_router,
+            stats.packets_dropped_dead_link,
         )
         work_pending = bool(pending_sources or buffered or in_flight)
         if signature != self._progress_signature or not work_pending:
@@ -339,6 +382,8 @@ class NocSanitizer:
                 "function": c.function.value,
                 "occupancy": len(c.queue),
                 "capacity": c.capacity,
+                "down": c.down,
+                "dead": c.dead,
                 "copies": len(c.copies),
                 "pending_acks": len(c.pending_acks),
                 "head": repr(c.queue[0][0]) if c.queue else None,
@@ -367,6 +412,10 @@ class NocSanitizer:
                 "flits_ejected": stats.flits_ejected_total,
                 "hop_retransmissions": stats.hop_retransmissions,
                 "bypass_traversals": stats.bypass_traversals,
+                "packets_dropped_dead_router": stats.packets_dropped_dead_router,
+                "packets_dropped_dead_link": stats.packets_dropped_dead_link,
+                "packets_undeliverable": stats.packets_undeliverable,
+                "flits_dropped": stats.flits_dropped,
             },
             "routers": routers,
             "channels": channels,

@@ -74,6 +74,9 @@ class Channel:
         "capacity",
         "bandwidth",
         "traversal_latency",
+        "down",
+        "dead",
+        "dead_reason",
     )
 
     def __init__(
@@ -116,7 +119,26 @@ class Channel:
         self.flits_retransmitted = 0
         self.function_switches = 0  # runtime reconfigurations of this MFAC
         self.held_flit_cycles = 0
+        # Fault-scenario state.  ``down`` refuses new sends (intermittent
+        # outage: queued flits are *held*, not lost); ``dead`` additionally
+        # marks the outage permanent — routing treats the channel as gone
+        # and packets committed to it are dropped with ``dead_reason``.
+        self.down = False
+        self.dead = False
+        self.dead_reason: str | None = None
         self._refresh_geometry()
+
+    # --- fault-scenario state transitions ------------------------------------
+
+    def set_down(self, down: bool) -> None:
+        """Duty-cycled outage: hold traffic while down (dead stays down)."""
+        self.down = down or self.dead
+
+    def kill(self, reason: str) -> None:
+        """Permanent failure: the channel never carries traffic again."""
+        self.dead = True
+        self.down = True
+        self.dead_reason = reason
 
     # --- capacity / bandwidth ------------------------------------------------
 
@@ -184,6 +206,8 @@ class Channel:
 
     def can_accept(self, cycle: int) -> bool:
         """Whether the upstream router may push one flit this cycle."""
+        if self.down:
+            return False
         if self._budget_left(cycle) <= 0:
             return False
         if len(self.queue) >= self.capacity:

@@ -5,7 +5,9 @@ Usage::
     python -m repro run --technique intellinoc --benchmark bod
     python -m repro run --benchmark swa --trace run.jsonl --metrics-out run.prom
     python -m repro run --technique intellinoc --benchmark bod --topology torus
+    python -m repro run --scenario aging-cliff --sanitize --benchmark swa
     python -m repro campaign --benchmarks swa bod can --duration 4000
+    python -m repro campaign --scenario transient-storm --benchmarks swa
     python -m repro campaign --benchmarks swa --topology cmesh --concentration 4
     python -m repro campaign --failure-policy quarantine --journal c.jsonl
     python -m repro campaign --resume c.jsonl
@@ -41,6 +43,7 @@ from contextlib import nullcontext
 from dataclasses import replace
 
 from repro.config import TechniqueConfig, all_techniques, technique
+from repro.faults.scenario import scenario_names
 from repro.noc.topology import registered_topologies
 from repro.core.experiment import ExperimentRunner
 from repro.core.intellinoc import IntelliNoCSystem
@@ -116,6 +119,13 @@ def _add_fabric_options(parser: argparse.ArgumentParser) -> None:
         help="cores per router for --topology cmesh "
              "(2 or 4; default 4, ignored elsewhere)",
     )
+    parser.add_argument(
+        "--scenario", default="", choices=[""] + scenario_names(),
+        metavar="PACK",
+        help="fault-scenario pack to replay during the run "
+             f"({', '.join(scenario_names())}; default: none; "
+             "see docs/fault_scenarios.md)",
+    )
 
 
 def _fabric_technique(
@@ -124,13 +134,24 @@ def _fabric_technique(
     """Re-target a technique's NoC onto the fabric the CLI selected."""
     topology = getattr(args, "topology", "mesh")
     concentration = getattr(args, "concentration", None)
+    scenario = getattr(args, "scenario", "")
     if concentration is None:
         concentration = 4 if topology == "cmesh" else 1
     noc = tech.noc
-    if topology == noc.topology and concentration == noc.concentration:
+    if (
+        topology == noc.topology
+        and concentration == noc.concentration
+        and scenario == noc.fault_scenario
+    ):
         return tech
     return replace(
-        tech, noc=replace(noc, topology=topology, concentration=concentration)
+        tech,
+        noc=replace(
+            noc,
+            topology=topology,
+            concentration=concentration,
+            fault_scenario=scenario,
+        ),
     )
 
 
@@ -269,6 +290,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ["MTTF (s, extrapolated)", r.mttf_seconds],
         ["max temperature (K)", metrics.max_temperature_k],
     ]
+    if args.scenario:
+        rows += [
+            ["delivery ratio", r.delivery_ratio],
+            ["packets dropped (dead router)", r.packets_dropped_dead_router],
+            ["packets dropped (dead link)", r.packets_dropped_dead_link],
+            ["packets refused (undeliverable)", r.packets_undeliverable],
+            ["routers failed", r.routers_failed],
+            ["links failed", r.links_failed],
+            ["availability", r.availability],
+            ["time-to-recover (cycles)", r.time_to_recover_cycles],
+        ]
     print(format_table(
         ["metric", "value"], rows,
         title=f"{metrics.technique} on '{args.benchmark}' ({args.duration} cycles)",
@@ -342,6 +374,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             table, _ = figures[name]()
             print()
             print(table)
+        if args.scenario:
+            print()
+            print(runner.reliability_table())
         if runner.engine.quarantined:
             exit_code = _report_quarantined(runner.engine.quarantined)
     except CampaignInterrupted as exc:

@@ -31,7 +31,7 @@ from typing import Any
 # canonical form so pre-existing content hashes (and the on-disk ResultStore
 # entries they key) remain valid.  Non-default values are hashed normally.
 _SCHEMA_EVOLUTION_DEFAULTS: dict[str, dict[str, Any]] = {
-    "NocConfig": {"topology": "mesh", "concentration": 1},
+    "NocConfig": {"topology": "mesh", "concentration": 1, "fault_scenario": ""},
 }
 
 
@@ -127,6 +127,11 @@ class NocConfig:
     routing: str = "xy"  # "xy" (Table 1) or "west_first" (adaptive)
     topology: str = "mesh"  # "mesh", "torus", "cmesh" or "ring"
     concentration: int = 1  # cores per router (cmesh: 2 or 4)
+    # Named fault-scenario pack ("" = none).  The name is resolved against
+    # the `repro.faults.scenario` registry at network build time (not here:
+    # config must stay importable without the fault engine), so an unknown
+    # name fails fast when the simulation is constructed.
+    fault_scenario: str = ""
 
     def __post_init__(self) -> None:
         if self.width < 2 or self.height < 2:

@@ -289,6 +289,11 @@ class ExperimentRunner:
             self.run_campaign(), self._technique_names, self.benchmarks
         )
 
+    def reliability_table(self):
+        return figures.reliability_table(
+            self.run_campaign(), self._technique_names, self.benchmarks
+        )
+
 
 def quick_runner(duration: int = 4_000, seed: int = 1, **kwargs) -> ExperimentRunner:
     """A runner sized for tests and smoke benches."""

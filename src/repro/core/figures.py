@@ -115,6 +115,51 @@ def figure13_energy_efficiency(results, technique_names, benchmarks):
     )
 
 
+def reliability_table(
+    results: Results,
+    technique_names: Sequence[str],
+    benchmarks: Sequence[str],
+) -> str:
+    """Delivery accounting per technique (absolute values, suite-wide).
+
+    Unlike the paper figures this is not normalized: delivery ratio and
+    availability are already ratios, and drop counts are evidence, not a
+    comparison metric.  On clean runs every row reads 1.0 / 0 / 0 / 1.0.
+    """
+    rows = []
+    omitted = []
+    for name in technique_names:
+        cells = [results.get((name, b)) for b in benchmarks]
+        present = [m for m in cells if m is not None]
+        if not present:
+            omitted.append(name)
+            continue
+        rel = [m.reliability for m in present]
+        recoveries = [
+            r.time_to_recover_cycles for r in rel if r.time_to_recover_cycles
+        ]
+        rows.append([
+            name,
+            sum(r.delivery_ratio for r in rel) / len(rel),
+            sum(r.packets_dropped for r in rel),
+            sum(r.packets_undeliverable for r in rel),
+            sum(r.availability for r in rel) / len(rel),
+            sum(recoveries) / len(recoveries) if recoveries else 0.0,
+        ])
+    if not rows:
+        raise ValueError("no technique has any result for the reliability table")
+    headers = [
+        "technique", "delivery ratio", "dropped", "refused",
+        "availability", "time-to-recover (cycles)",
+    ]
+    table = format_table(
+        headers, rows, title="Delivery accounting under fault scenarios"
+    )
+    if omitted:
+        table += "\nomitted (no results): " + ", ".join(omitted)
+    return table
+
+
 def figure14_mode_breakdown(
     results: Results,
     benchmarks: Sequence[str],

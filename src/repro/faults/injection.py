@@ -10,7 +10,9 @@ corruption accounting) under controlled conditions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import bisect
+from collections.abc import Iterable
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)
@@ -29,33 +31,51 @@ class InjectedFault:
             raise ValueError("a fault must flip at least one bit")
 
 
-@dataclass
 class FaultInjector:
     """Queryable schedule of injected faults.
 
     The network asks, for every flit-link traversal, whether a scripted
     fault applies; each fault fires at most once (the first matching
     traversal at or after its cycle), mirroring a pulsed particle strike.
+
+    Faults are indexed by ``(src_router, direction)`` and kept cycle-sorted
+    per link, so the hot-path query is a dict probe plus one comparison and
+    faults on the same link always fire earliest-cycle-first regardless of
+    schedule order.
     """
 
-    faults: list[InjectedFault] = field(default_factory=list)
-    fired: list[InjectedFault] = field(default_factory=list)
+    def __init__(self, faults: Iterable[InjectedFault] = ()):
+        self._by_link: dict[tuple[int, int], list[InjectedFault]] = {}
+        self.fired: list[InjectedFault] = []
+        for fault in faults:
+            self.schedule(fault)
 
     def schedule(self, fault: InjectedFault) -> None:
-        self.faults.append(fault)
+        bucket = self._by_link.setdefault(
+            (fault.src_router, fault.direction), []
+        )
+        bisect.insort(bucket, fault, key=lambda f: f.cycle)
+
+    @property
+    def faults(self) -> list[InjectedFault]:
+        """Unfired faults, in firing order per link (diagnostic view)."""
+        return [
+            fault
+            for _, bucket in sorted(self._by_link.items())
+            for fault in bucket
+        ]
 
     def pending(self) -> int:
         """Number of faults that have not fired yet."""
-        return len(self.faults)
+        return sum(len(bucket) for bucket in self._by_link.values())
 
     def pop_matching(self, cycle: int, src_router: int, direction: int) -> int:
         """Bit errors to apply to this traversal (0 when no fault matches)."""
-        for i, fault in enumerate(self.faults):
-            if (
-                fault.cycle <= cycle
-                and fault.src_router == src_router
-                and fault.direction == direction
-            ):
-                self.fired.append(self.faults.pop(i))
-                return fault.bit_errors
-        return 0
+        bucket = self._by_link.get((src_router, direction))
+        if not bucket or bucket[0].cycle > cycle:
+            return 0
+        fault = bucket.pop(0)
+        if not bucket:
+            del self._by_link[(src_router, direction)]
+        self.fired.append(fault)
+        return fault.bit_errors

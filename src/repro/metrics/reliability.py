@@ -19,6 +19,16 @@ class ReliabilitySummary:
     mttf_seconds: float
     mean_aging_factor: float
     max_aging_factor: float
+    # Fault-scenario delivery accounting (defaults keep pre-scenario
+    # result-cache artifacts loadable: absent keys mean a clean run).
+    packets_dropped_dead_router: int = 0
+    packets_dropped_dead_link: int = 0
+    packets_undeliverable: int = 0
+    delivery_ratio: float = 1.0  # completed / injected
+    availability: float = 1.0  # 1 - dead-router-cycles / router-cycles
+    time_to_recover_cycles: float = 0.0  # mean kill-to-next-delivery gap
+    routers_failed: int = 0
+    links_failed: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)
@@ -35,6 +45,14 @@ class ReliabilitySummary:
             mttf_seconds=float(data["mttf_seconds"]),
             mean_aging_factor=float(data["mean_aging_factor"]),
             max_aging_factor=float(data["max_aging_factor"]),
+            packets_dropped_dead_router=int(data.get("packets_dropped_dead_router", 0)),
+            packets_dropped_dead_link=int(data.get("packets_dropped_dead_link", 0)),
+            packets_undeliverable=int(data.get("packets_undeliverable", 0)),
+            delivery_ratio=float(data.get("delivery_ratio", 1.0)),
+            availability=float(data.get("availability", 1.0)),
+            time_to_recover_cycles=float(data.get("time_to_recover_cycles", 0.0)),
+            routers_failed=int(data.get("routers_failed", 0)),
+            links_failed=int(data.get("links_failed", 0)),
         )
 
     @property
@@ -54,3 +72,8 @@ class ReliabilitySummary:
         if self.flits_delivered == 0:
             return 0.0
         return self.silent_corruptions / self.flits_delivered
+
+    @property
+    def packets_dropped(self) -> int:
+        """Packets lost to dead fabric elements (excludes refusals)."""
+        return self.packets_dropped_dead_router + self.packets_dropped_dead_link

@@ -112,6 +112,15 @@ class RunMetrics:
         cycles = max(1, network.cycle)
         static_w, dynamic_w = network.accountant.average_power_w(cycles)
         mttf = MttfEstimator(network.aging)
+        # Fault-scenario delivery accounting: availability weighs each dead
+        # router by the fraction of the run it spent dead.
+        dead_routers = getattr(network, "_dead_routers", {})
+        dead_links = getattr(network, "_dead_links", {})
+        lost_router_cycles = sum(cycles - killed for killed in dead_routers.values())
+        availability = 1.0 - lost_router_cycles / (
+            network.topology.num_routers * cycles
+        )
+        recovery = stats.recovery_cycles
         reliability = ReliabilitySummary(
             hop_retransmissions=stats.hop_retransmissions,
             e2e_retransmission_flits=stats.e2e_retransmission_flits,
@@ -122,6 +131,16 @@ class RunMetrics:
             mttf_seconds=mttf.system_mttf_seconds(),
             mean_aging_factor=network.aging.mean_aging(),
             max_aging_factor=network.aging.max_aging(),
+            packets_dropped_dead_router=stats.packets_dropped_dead_router,
+            packets_dropped_dead_link=stats.packets_dropped_dead_link,
+            packets_undeliverable=stats.packets_undeliverable,
+            delivery_ratio=stats.delivery_ratio,
+            availability=availability,
+            time_to_recover_cycles=(
+                sum(recovery) / len(recovery) if recovery else 0.0
+            ),
+            routers_failed=len(dead_routers),
+            links_failed=len(dead_links),
         )
         qtable_max = 0
         policy = network.policy

@@ -34,6 +34,10 @@ class Packet:
     # Dateline VC class on torus/ring fabrics (dim * 2 + crossed); updated
     # at each VC allocation, always 0 on fabrics without VC classes.
     vc_class: int = 0
+    # Set once when the packet is lost to a scenario fault ("dead_router",
+    # "dead_link") or refused at injection ("undeliverable"); the network's
+    # drop accounting and the sanitizer's delivery audit key off it.
+    dropped_reason: str | None = None
 
     _pid_counter = itertools.count()
 

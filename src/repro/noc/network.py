@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from collections import deque
 from typing import TYPE_CHECKING
 
 from repro.channels.mfac import Channel
@@ -32,6 +33,14 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from repro.telemetry import Telemetry
 from repro.faults.aging import AgingModel
 from repro.faults.injection import FaultInjector
+from repro.faults.scenario import (
+    REASON_DEAD_LINK,
+    REASON_DEAD_ROUTER,
+    REASON_UNDELIVERABLE,
+    FaultScenario,
+    ScenarioEngine,
+    build_scenario,
+)
 from repro.faults.thermal import ThermalModel
 from repro.faults.transient import TransientFaultModel
 from repro.noc.flit import Flit, Packet
@@ -39,6 +48,7 @@ from repro.noc.power_gating import PowerState
 from repro.noc.router import Router
 from repro.noc.statistics import NetworkStatistics
 from repro.noc.topology import build_topology
+from repro.noc.vc import VcState
 from repro.power.accounting import EnergyAccountant
 from repro.power.model import PowerModel
 from repro.traffic.injection import SourceQueue
@@ -59,6 +69,7 @@ class Network:
         fault_injector: FaultInjector | None = None,
         sanitizer: "object | None" = None,
         telemetry: "Telemetry | None" = None,
+        scenario: FaultScenario | None = None,
     ):
         from repro.analysis.sanitizer import NocSanitizer
         from repro.control.policies import make_policy
@@ -117,6 +128,23 @@ class Network:
         self._out_flits_mark = np.zeros(self.topology.num_routers)
         self._running_avg_latency = 20.0  # reward fallback before data exists
         self._active_sources: set[int] = set()
+
+        # Fault-scenario engine.  With no scenario configured, every hook
+        # below is behind a single attribute/bool check and the run is
+        # bit-identical to a build without this machinery (the same
+        # contract telemetry honors).
+        if scenario is None and config.noc.fault_scenario:
+            scenario = build_scenario(config.noc.fault_scenario, self.topology)
+        self._scenario = (
+            ScenarioEngine(scenario, self) if scenario is not None else None
+        )
+        self._degraded = False  # set on the first router/link kill
+        self._pending_drops: list[Packet] = []
+        self._dead_routers: dict[int, int] = {}  # rid -> kill cycle
+        self._dead_links: dict[tuple[int, int], int] = {}  # (src, dir) -> cycle
+        self._recovery_pending_since: int | None = None
+        for router in self.routers:
+            router.on_drop = self._mark_dropped
 
         # Telemetry: pure observation, never control flow.  The hot paths
         # guard on `_tel is not None`, so a missing or disabled hub costs
@@ -351,7 +379,10 @@ class Network:
             if (
                 self._trace_index >= len(self._events)
                 and not self._active_sources
-                and self.stats.packets_completed >= self.stats.packets_injected
+                # resolved = completed + dropped-with-reason + refused:
+                # scenario drops must not stall termination, and nothing
+                # may terminate while a packet is unaccounted for.
+                and self.stats.packets_resolved >= self.stats.packets_injected
                 and self._network_drained()
             ):
                 return self.cycle
@@ -367,6 +398,13 @@ class Network:
 
     def step(self) -> None:
         cycle = self.cycle
+        if self._scenario is not None:
+            self._scenario.tick(cycle)
+        if self._pending_drops:
+            # Packets marked dropped after the last sweep (e.g. by a router
+            # that found its committed output dead): excise their flits now,
+            # before this cycle moves anything.
+            self._flush_drops(cycle)
         self._admit_trace_events(cycle)
         for router in self.routers:
             state = router.gating.state
@@ -392,6 +430,9 @@ class Network:
             ev = events[self._trace_index]
             self._trace_index += 1
             packet = Packet.create(ev.src, ev.dst, ev.size, cycle, expects_reply=ev.reply)
+            if self._degraded and self._endpoint_dead(ev.src, ev.dst):
+                self._refuse_packet(packet, cycle)
+                continue
             self.sources[ev.src].enqueue(packet)
             self._active_sources.add(ev.src)
             self.stats.record_injection()
@@ -405,7 +446,10 @@ class Network:
             or channel.function.value == "relaxed"
         )
         temperature = self.thermal.temperature(channel.src)
-        return self.fault_model.bit_error_rate(temperature, relaxed_timing=relaxed)
+        rate = self.fault_model.bit_error_rate(temperature, relaxed_timing=relaxed)
+        if self._scenario is not None:
+            rate = self._scenario.scaled_rate(rate, channel.src)
+        return rate
 
     def _sample_channel_errors(self, channel: Channel) -> int:
         """Bit errors for one traversal (also charges the link energy)."""
@@ -433,6 +477,8 @@ class Network:
             queue = channel.queue
             if not queue or queue[0][1] > cycle:
                 continue  # nothing ready (entries age monotonically)
+            if channel.down:
+                continue  # scenario outage: flits are held, not lost
             dst_router = self.routers[channel.dst]
             state = dst_router.gating.state
             if state is PowerState.GATED:
@@ -527,6 +573,8 @@ class Network:
 
     def _step_routers(self, cycle: int) -> None:
         for router in self.routers:
+            if router.dead:
+                continue
             state = router.gating.state
             if state is PowerState.GATED:
                 if router.technique.uses_bypass:
@@ -574,6 +622,17 @@ class Network:
             if flit is None:
                 done.append(node)
                 continue
+            if (
+                self._degraded
+                and flit.is_head
+                and self.routers[self._node_router[flit.packet.dst]].dead
+            ):
+                # Destination died while this packet waited at the source:
+                # refuse injection and account for it instead of letting it
+                # wedge against the dead router's killed channels.
+                self._mark_dropped(flit.packet, REASON_UNDELIVERABLE)
+                source.discard_packet(flit.packet)
+                continue
             port = router.input_ports[in_port]
             if flit.is_head:
                 vci = port.free_vc_for_head()
@@ -615,6 +674,11 @@ class Network:
         if not flit.is_tail:
             return
         if packet.needs_retry and packet.e2e_retransmissions < MAX_E2E_RETRIES:
+            if self._degraded and self.routers[src_router].dead:
+                # The source can never re-send: account the packet as
+                # undeliverable rather than retrying into a dead NI.
+                self._mark_dropped(packet, REASON_UNDELIVERABLE)
+                return
             packet.reset_for_retransmission()
             self.stats.e2e_retransmission_flits += packet.size
             self.accountant.add_dynamic(
@@ -627,6 +691,11 @@ class Network:
         if packet.corrupted:
             self.stats.corrupted_packets_delivered += 1
         self.stats.record_completion(packet.latency, src_router, cycle, path=packet.path)
+        if self._recovery_pending_since is not None:
+            # First clean delivery since the last kill: the fabric has
+            # re-converged around the damage (time-to-recover sample).
+            self.stats.recovery_cycles.append(cycle - self._recovery_pending_since)
+            self._recovery_pending_since = None
         if self._tel is not None:
             self._lat_hist.observe(float(packet.latency))
             if self._tel.sampled(cycle):
@@ -644,9 +713,225 @@ class Network:
             reply = Packet.create(
                 packet.dst, packet.src, packet.size, cycle, is_reply=True
             )
+            if self._degraded and self._endpoint_dead(packet.dst, packet.src):
+                self._refuse_packet(reply, cycle)
+                return
             self.sources[packet.dst].enqueue(reply)
             self._active_sources.add(packet.dst)
             self.stats.record_injection()
+
+    # --- fault scenarios: kills, drops, accounting ----------------------------------------------
+
+    def find_channel(self, src_router: int, direction: int) -> Channel | None:
+        """The directed channel out of *src_router*, or None (engine hook)."""
+        if not 0 <= src_router < len(self.routers):
+            return None
+        return self.routers[src_router].outgoing.get(direction)
+
+    def note_scenario_event(self, cycle: int, kind: str, **fields) -> None:
+        """Record one fired scenario event in the telemetry stream."""
+        if self._tel is None:
+            return
+        self._tel.counter(
+            "noc_scenario_events_total", "Fault-scenario timeline events fired"
+        ).inc()
+        self._tel.record("scenario", cycle, kind=kind, **fields)
+
+    def _endpoint_dead(self, src_node: int, dst_node: int) -> bool:
+        return (
+            self.routers[self._node_router[src_node]].dead
+            or self.routers[self._node_router[dst_node]].dead
+        )
+
+    def _refuse_packet(self, packet: Packet, cycle: int) -> None:
+        """Refuse admission (dead endpoint): injected and resolved in one
+        breath, so delivery accounting stays balanced without the packet
+        ever touching a queue."""
+        packet.dropped_reason = REASON_UNDELIVERABLE
+        self.stats.record_injection()
+        self.stats.packets_undeliverable += 1
+        if self._tel is not None:
+            self._tel.counter(
+                "noc_packets_dropped_total",
+                "Packets dropped or refused under fault scenarios",
+            ).inc()
+            self._tel.record(
+                "drop", cycle, src=packet.src, dst=packet.dst,
+                reason=REASON_UNDELIVERABLE,
+            )
+
+    def _enter_degraded(self, cycle: int) -> None:
+        self._degraded = True
+        for router in self.routers:
+            router.degraded = True
+        if self._recovery_pending_since is None:
+            self._recovery_pending_since = cycle
+
+    def fail_router(self, rid: int, cycle: int) -> None:
+        """Kill router *rid* permanently: every attached channel dies, every
+        packet committed through it is dropped with accounting, local
+        sources are drained, and routing degrades around the hole."""
+        router = self.routers[rid]
+        if router.dead:
+            return
+        router.dead = True
+        router.failed = True  # adaptive routing already avoids failed hops
+        self._dead_routers[rid] = cycle
+        for channel in router.outgoing.values():
+            channel.kill(REASON_DEAD_ROUTER)
+        for channel in router.incoming.values():
+            channel.kill(REASON_DEAD_ROUTER)
+        self._enter_degraded(cycle)
+        # In-flight victims: flits wired to/from the router and flits
+        # buffered inside it.
+        for channel in list(router.outgoing.values()) + list(router.incoming.values()):
+            for entry in channel.queue:
+                self._mark_dropped(entry[0].packet, REASON_DEAD_ROUTER)
+        for port in router.input_ports.values():
+            for vc in port.vcs:
+                for flit, _ in vc.queue:
+                    self._mark_dropped(flit.packet, REASON_DEAD_ROUTER)
+        for entry in router.bst.entries().values():
+            if entry.owner is not None:
+                self._mark_dropped(entry.owner, REASON_DEAD_ROUTER)
+        self._mark_committed_worms()
+        # Local traffic: a mid-injection packet is a normal drop; packets
+        # that never started (and everything still queued) are refused.
+        for node in self.topology.local_nodes(rid):
+            source = self.sources[node]
+            current = source.current_packet()
+            if current is not None:
+                if current.injection_cycle >= 0:
+                    self._mark_dropped(current, REASON_DEAD_ROUTER)
+                else:
+                    self._mark_dropped(current, REASON_UNDELIVERABLE)
+            for packet in source.drain_queued():
+                self._mark_dropped(packet, REASON_UNDELIVERABLE)
+        self._flush_drops(cycle)
+        # Park the gating controller in GATED so the epoch accounting
+        # charges dead-router leakage at the gated (power-cut) rate.
+        router.gating.request_gate(cycle, router.is_empty())
+        self.note_scenario_event(cycle, "router_failure", router=rid)
+
+    def fail_link(self, src_router: int, direction: int, cycle: int) -> bool:
+        """Kill one directed channel permanently.  Returns False when no
+        such channel exists (scenario packs tolerate sparse fabrics)."""
+        channel = self.find_channel(src_router, direction)
+        if channel is None or channel.dead:
+            return False
+        channel.kill(REASON_DEAD_LINK)
+        self._dead_links[(src_router, direction)] = cycle
+        self._enter_degraded(cycle)
+        for entry in channel.queue:
+            self._mark_dropped(entry[0].packet, REASON_DEAD_LINK)
+        self._mark_committed_worms()
+        self._flush_drops(cycle)
+        self.note_scenario_event(
+            cycle, "link_failure", src=src_router, direction=direction
+        )
+        return True
+
+    def _mark_committed_worms(self) -> None:
+        """Mark every packet whose recorded allocation crosses a channel
+        that just died.  Heads still waiting for VC allocation are spared —
+        they get a reroute attempt (west-first often has one; X-Y never
+        does) before the router drops them."""
+        for router in self.routers:
+            if router.dead:
+                continue
+            for entry in router.bst.entries().values():
+                channel = router.outgoing.get(entry.output_port)
+                if (
+                    channel is not None
+                    and channel.dead
+                    and entry.owner is not None
+                ):
+                    self._mark_dropped(entry.owner, channel.dead_reason or REASON_DEAD_LINK)
+
+    def _mark_dropped(self, packet, reason: str) -> None:
+        """Resolve *packet* as dropped (idempotent).  Counters move now;
+        the flit sweep runs at the next safe point (`_flush_drops`)."""
+        if packet.dropped_reason is not None:
+            return
+        packet.dropped_reason = reason
+        if reason == REASON_DEAD_ROUTER:
+            self.stats.packets_dropped_dead_router += 1
+        elif reason == REASON_DEAD_LINK:
+            self.stats.packets_dropped_dead_link += 1
+        else:
+            self.stats.packets_undeliverable += 1
+        self._pending_drops.append(packet)
+        if self._tel is not None:
+            self._tel.counter(
+                "noc_packets_dropped_total",
+                "Packets dropped or refused under fault scenarios",
+            ).inc()
+            self._tel.record(
+                "drop", self.cycle, src=packet.src, dst=packet.dst, reason=reason
+            )
+
+    def _flush_drops(self, cycle: int) -> None:
+        """Excise every flit of every marked packet from the fabric,
+        releasing the wormhole state (VC claims, BST entries, upstream
+        reservations) it held, and account the flits as dropped so the
+        sanitizer's conservation law keeps closing."""
+        victims = self._pending_drops
+        self._pending_drops = []
+        victim_set = {id(p): p for p in victims}
+        if not victim_set:
+            return
+        dropped_flits = 0
+        # Channels: remove queued flits, release upstream reservations.
+        for channel in self.channels:
+            if not channel.queue:
+                continue
+            doomed = [e for e in channel.queue if id(e[0].packet) in victim_set]
+            for entry in doomed:
+                flit = entry[0]
+                channel.remove(entry)
+                channel.acknowledge(flit)
+                pending = channel.pending_acks.pop(flit, None)
+                if pending is not None:
+                    upstream_vc, owner = pending
+                    upstream_vc.release()
+                    owner._reserved_count -= 1
+                dropped_flits += 1
+        # Routers: remove buffered flits and close the wormhole state the
+        # victims held (mirroring Router._close for each open allocation).
+        for router in self.routers:
+            for port in router.input_ports.values():
+                for vci, vc in enumerate(port.vcs):
+                    removed = 0
+                    if vc.queue:
+                        kept = [
+                            item
+                            for item in vc.queue
+                            if id(item[0].packet) not in victim_set
+                        ]
+                        removed = len(vc.queue) - len(kept)
+                        if removed:
+                            vc.queue = deque(kept)
+                            router._flit_count -= removed
+                            dropped_flits += removed
+                    entry = router.bst.lookup(port.direction, vci)
+                    if entry is not None and id(entry.owner) in victim_set:
+                        if entry.output_port not in router._ejection_ports:
+                            down_port = router.downstream_ports.get(entry.output_port)
+                            if down_port is not None:
+                                down_port.unclaim(entry.out_vc)
+                        router.bst.clear(port.direction, vci)
+                        vc.close_packet()
+                        port.unclaim(vci)
+                    elif removed and not vc.queue and vc.state is not VcState.IDLE:
+                        # Head never reached VC allocation: no BST entry,
+                        # no downstream claim — just reset the VC.
+                        vc.close_packet()
+                        port.unclaim(vci)
+        # Sources: un-injected flits of a partially-injected victim (they
+        # never entered the popped-flits ledger, so they are not "dropped").
+        for victim in victims:
+            self.sources[victim.src].discard_packet(victim)
+        self.stats.flits_dropped += dropped_flits
 
     # --- phase 6: epochs ------------------------------------------------------------------------
 
@@ -735,6 +1020,8 @@ class Network:
             rl_pj = self.power_model.rl_step_energy_pj()
             applied: list[int] = []
             for router, mode, obs in zip(self.routers, modes, observations):
+                if router.dead:
+                    continue  # no hardware left to reconfigure
                 if rl_pj:
                     self.accountant.add_dynamic(router.id, rl_pj)
                 if mode == 0 and not self._bypass_admissible(router, obs):

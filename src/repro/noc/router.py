@@ -108,6 +108,12 @@ class Router:
         }
         self._bypass_arbiter = RoundRobinArbiter(self.num_ports)
         self.failed = False  # permanent fault flagged by the aging model
+        self.dead = False  # killed by a fault scenario (never recovers)
+        # Degraded operation: some fabric element died.  Routing filters
+        # dead outputs and blocked worms are dropped with accounting via
+        # ``on_drop`` (set by the network) instead of wedging forever.
+        self.degraded = False
+        self.on_drop: Callable[[object, str], None] | None = None
         self._flit_count = 0  # flits in this router's input buffers
         self._reserved_count = 0  # slots held by unacked wire-channel copies
         # Set by the network: samples bit errors for one traversal of an
@@ -266,6 +272,9 @@ class Router:
                         vc.route = self.compute_route(flit.packet.dst)
                         vc.state = state = VcState.WAITING_VA
                 if state is VcState.WAITING_VA:
+                    if self.degraded and self._route_unserviceable(vc.route):
+                        if not self._reroute_or_drop(vc):
+                            continue  # dropped: the sweep excises it
                     if cycle >= vc.queue[0][1] + head_delay:
                         key = int(port.direction) * num_vcs + vci
                         va_requests.setdefault(vc.route, []).append((key, port, vci))
@@ -312,7 +321,9 @@ class Router:
                 down_port.claim(out_vc)
                 vc.out_vc = out_vc
             vc.state = VcState.ACTIVE
-            self.bst.record(port.direction, vci, route, vc.out_vc)
+            self.bst.record(
+                port.direction, vci, route, vc.out_vc, owner=vc.queue[0][0].packet
+            )
             active.append((port, vci, vc))
 
     def _grant_va(
@@ -371,6 +382,14 @@ class Router:
             if cycle < enq + delay:
                 continue
             if not self._output_ready(vc.route, vc.out_vc, cycle):
+                if (
+                    self.degraded
+                    and self.on_drop is not None
+                    and self._route_unserviceable(vc.route)
+                ):
+                    # Committed worm blocked on a channel that died between
+                    # the kill sweep and now: drop instead of wedging.
+                    self.on_drop(flit.packet, self._dead_reason(vc.route))
                 continue
             lines[vci] = True
             ready[vci] = vc
@@ -464,6 +483,8 @@ class Router:
         lines = [False] * self.num_ports
         candidates: dict[int, object] = {}
         for direction, channel in self.incoming.items():
+            if channel.down:
+                continue  # scenario outage: flits are held in the channel
             ready = channel.deliverable(cycle)
             if ready:
                 lines[int(direction)] = True
@@ -497,6 +518,12 @@ class Router:
         by default, or turn-model adaptive selection (congestion- and
         fault-aware) when configured."""
         candidates = self.topology.route_candidates(self.id, dst)
+        if self.degraded:
+            alive = [c for c in candidates if not self._route_unserviceable(c)]
+            if alive:
+                # Keep the original list when every option is dead: the
+                # WAITING_VA check then drops the packet with accounting.
+                candidates = alive
         if len(candidates) == 1:
             return candidates[0]
         return select_output(
@@ -507,12 +534,59 @@ class Router:
             neighbor_failed=lambda d: self.downstream_routers[d].failed,
         )
 
+    # --- graceful degradation (fault scenarios) -------------------------------
+
+    def _route_unserviceable(self, route: int) -> bool:
+        """Whether the chosen output leads over a dead channel."""
+        if route in self._ejection_ports:
+            return False
+        channel = self.outgoing.get(route)
+        return channel is None or channel.dead
+
+    def _dead_reason(self, route: int) -> str:
+        channel = self.outgoing.get(route)
+        if channel is not None and channel.dead_reason is not None:
+            return channel.dead_reason
+        return "dead_link"
+
+    def _reroute_or_drop(self, vc: VirtualChannel) -> bool:
+        """A waiting head's chosen output died before VC allocation: pick a
+        surviving minimal route if the turn model offers one (west-first
+        does for most turns; X-Y never does), else drop with accounting.
+        Returns False when the packet was dropped."""
+        dead_route = vc.route
+        packet = vc.queue[0][0].packet
+        candidates = [
+            c
+            for c in self.topology.route_candidates(self.id, packet.dst)
+            if not self._route_unserviceable(c)
+        ]
+        if candidates:
+            if len(candidates) == 1:
+                vc.route = candidates[0]
+            else:
+                vc.route = select_output(
+                    candidates,
+                    free_slots=lambda d: sum(
+                        v.free_slots for v in self.downstream_ports[d].vcs
+                    ),
+                    neighbor_failed=lambda d: self.downstream_routers[d].failed,
+                )
+            return True
+        if self.on_drop is not None:
+            self.on_drop(packet, self._dead_reason(dead_route))
+        return False
+
     def _bypass_route_for(self, in_dir: int, flit: Flit, cycle: int):
         """(route, out_vc) for a bypassed flit, or None when blocked."""
         if flit.is_head:
             route = self.compute_route(flit.packet.dst)
             if route in self._ejection_ports:
                 return route, 0
+            if self.degraded and self._route_unserviceable(route):
+                if self.on_drop is not None:
+                    self.on_drop(flit.packet, self._dead_reason(route))
+                return None
             out_vc = self._allocate_bypass_vc(route, flit.packet)
             if out_vc is None:
                 return None
@@ -525,6 +599,10 @@ class Router:
             raise RuntimeError(f"router {self.id}: bypassed body flit without BST entry")
         if entry.output_port in self._ejection_ports:
             return entry.output_port, entry.out_vc
+        if self.degraded and self._route_unserviceable(entry.output_port):
+            if self.on_drop is not None:
+                self.on_drop(flit.packet, self._dead_reason(entry.output_port))
+            return None
         if not self.outgoing[entry.output_port].can_accept(cycle):
             return None
         return entry.output_port, entry.out_vc
@@ -575,7 +653,7 @@ class Router:
             flit.bit_errors += entry[2] or 0
             in_vc = flit.vc
             if flit.is_head:
-                self.bst.record(in_dir, in_vc, route, out_vc)
+                self.bst.record(in_dir, in_vc, route, out_vc, owner=flit.packet)
                 flit.packet.path.append(self.id)
             self.charge(self.power_model.hop_energy_pj(self.hop_scheme, via_bypass=True))
             self.counters.in_flits[int(in_dir)] += 1
@@ -619,6 +697,12 @@ class Router:
                 # Destination shares this router (concentrated mesh):
                 # eject straight out of the bypass switch.
                 out_vc = 0
+            elif self.degraded and self._route_unserviceable(route):
+                # Not yet in the network: refuse injection, count the
+                # packet as undeliverable rather than losing it silently.
+                if self.on_drop is not None:
+                    self.on_drop(flit.packet, "undeliverable")
+                return False
             else:
                 out_vc = self._allocate_bypass_vc(route, flit.packet)
                 if out_vc is None:
@@ -628,7 +712,7 @@ class Router:
                     return False
             self.input_ports[port].claim(in_vc)
             source.current_vc = in_vc
-            self.bst.record(port, in_vc, route, out_vc)
+            self.bst.record(port, in_vc, route, out_vc, owner=flit.packet)
             flit.packet.injection_cycle = cycle
             flit.packet.path.append(self.id)
         else:

@@ -134,6 +134,16 @@ class NetworkStatistics:
         self.wakeups = 0
         self.mode_cycles: dict[int, int] = {m: 0 for m in range(5)}
         self.last_completion_cycle = 0
+        # Delivery accounting under scripted fault scenarios: every injected
+        # packet must end up completed, dropped-with-reason, or refused as
+        # undeliverable — the sanitizer audits exactly this ledger.
+        self.packets_dropped_dead_router = 0  # lost to a RouterFailure
+        self.packets_dropped_dead_link = 0  # lost to a LinkFailure
+        self.packets_undeliverable = 0  # refused at injection (dead endpoint)
+        self.flits_dropped = 0  # flits excised from buffers/channels on drops
+        # Cycles from each structural failure to the next completed packet
+        # (time-to-recover samples for the reliability report).
+        self.recovery_cycles: list[int] = []
 
     # --- packet lifecycle -----------------------------------------------------
 
@@ -182,6 +192,23 @@ class NetworkStatistics:
     def total_retransmitted_flits(self) -> int:
         """Fig. 15's metric: per-hop replays plus end-to-end re-injections."""
         return self.hop_retransmissions + self.e2e_retransmission_flits
+
+    @property
+    def packets_dropped(self) -> int:
+        """Packets lost to dead elements (always dropped *with* a reason)."""
+        return self.packets_dropped_dead_router + self.packets_dropped_dead_link
+
+    @property
+    def packets_resolved(self) -> int:
+        """Packets whose fate is settled: delivered, dropped, or refused."""
+        return self.packets_completed + self.packets_dropped + self.packets_undeliverable
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Completed / injected (1.0 on an empty run: nothing was lost)."""
+        if self.packets_injected == 0:
+            return 1.0
+        return self.packets_completed / self.packets_injected
 
     # --- epoch handling ---------------------------------------------------------
 

@@ -54,6 +54,7 @@ class CampaignReport:
                                      higher_better)
             )
         self._sections.append(self._mode_section())
+        self._sections.append(self._reliability_section())
         return "\n\n".join(self._sections) + "\n"
 
     def _header(self) -> str:
@@ -99,6 +100,17 @@ class CampaignReport:
                 f"— {marker}"
             )
         return "\n".join(lines)
+
+    def _reliability_section(self) -> str:
+        table = self.runner.reliability_table()
+        return "\n".join([
+            "## Delivery accounting (fault scenarios)",
+            "```", table, "```",
+            "delivery ratio = completed / injected; refused = packets turned "
+            "away at injection (dead endpoint); availability weighs dead "
+            "routers by the run fraction they spent dead.  All 1.0 / 0 on "
+            "runs without a fault scenario.",
+        ])
 
     def _mode_section(self) -> str:
         table, average = self.runner.figure14_mode_breakdown()

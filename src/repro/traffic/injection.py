@@ -70,3 +70,28 @@ class SourceQueue:
     def current_packet(self) -> Packet | None:
         self._refill()
         return self._current_packet if self._current_flits else None
+
+    def discard_packet(self, packet: Packet) -> bool:
+        """Excise *packet* from this queue (fault-scenario drop sweep).
+
+        Un-popped flits never entered the ``flits_popped`` ledger, so
+        clearing them keeps the sanitizer's conservation law intact;
+        flits already handed to the network are the network's to excise.
+        """
+        if self._current_packet is packet:
+            self._current_flits.clear()
+            self._current_packet = None
+            self.current_vc = None
+            return True
+        try:
+            self._packets.remove(packet)
+        except ValueError:
+            return False
+        return True
+
+    def drain_queued(self) -> list[Packet]:
+        """Remove and return every packet that has not begun injection
+        (the node's router died; they can never enter the network)."""
+        drained = list(self._packets)
+        self._packets.clear()
+        return drained

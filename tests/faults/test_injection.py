@@ -41,3 +41,24 @@ class TestFaultInjector:
         assert inj.pop_matching(0, 3, 1) == 1
         assert inj.pop_matching(0, 3, 1) == 3
         assert inj.pending() == 0
+
+    def test_same_link_faults_fire_earliest_cycle_first(self):
+        # Regression: faults scheduled out of cycle order on the same link
+        # used to fire in insertion order, so a late fault could consume an
+        # early traversal and leave the early fault pending forever.
+        inj = FaultInjector()
+        inj.schedule(InjectedFault(cycle=20, src_router=3, direction=1, bit_errors=5))
+        inj.schedule(InjectedFault(cycle=5, src_router=3, direction=1, bit_errors=2))
+        assert inj.pop_matching(5, 3, 1) == 2  # cycle-5 fault, not cycle-20
+        assert inj.pop_matching(10, 3, 1) == 0  # cycle-20 fault not due yet
+        assert inj.pop_matching(20, 3, 1) == 5
+        assert inj.pending() == 0
+
+    def test_faults_view_lists_unfired_in_firing_order(self):
+        inj = FaultInjector([
+            InjectedFault(cycle=9, src_router=1, direction=0, bit_errors=4),
+            InjectedFault(cycle=2, src_router=1, direction=0, bit_errors=1),
+        ])
+        assert [f.cycle for f in inj.faults] == [2, 9]
+        inj.pop_matching(2, 1, 0)
+        assert [f.cycle for f in inj.faults] == [9]

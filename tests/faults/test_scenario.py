@@ -1,0 +1,294 @@
+"""Tests for the declarative fault-scenario engine (repro.faults.scenario)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.sanitizer import NocSanitizer
+from repro.config import (
+    INTELLINOC,
+    SECDED_BASELINE,
+    FaultConfig,
+    SimulationConfig,
+)
+from repro.faults.scenario import (
+    MAX_SCENARIO_BIT_ERROR_RATE,
+    SCENARIO_PACKS,
+    FaultScenario,
+    IntermittentLink,
+    LinkFailure,
+    QTableCorruption,
+    RouterFailure,
+    ScenarioEngine,
+    ThermalAttack,
+    TransientBurst,
+    build_scenario,
+    scenario_names,
+)
+from repro.noc.network import Network
+from repro.traffic.parsec import generate_parsec_trace
+from repro.traffic.trace import Trace, TraceEvent
+
+NO_FAULTS = FaultConfig(base_bit_error_rate=0.0)
+
+
+def make_network(technique=None, scenario=None, events=(), seed=7,
+                 sanitizer=None, **noc_overrides):
+    """A 4x4 network preserving the technique's own channel configuration."""
+    tech = technique or SECDED_BASELINE
+    noc_overrides.setdefault("width", 4)
+    noc_overrides.setdefault("height", 4)
+    noc = replace(tech.noc, **noc_overrides)
+    config = SimulationConfig(technique=replace(tech, noc=noc), seed=seed,
+                              faults=NO_FAULTS)
+    return Network(config, Trace(list(events)), scenario=scenario,
+                   sanitizer=sanitizer)
+
+
+class TestEventValidation:
+    def test_burst_window_must_be_nonempty(self):
+        with pytest.raises(ValueError):
+            TransientBurst(start=100, end=100, multiplier=10.0)
+        with pytest.raises(ValueError):
+            TransientBurst(start=-1, end=100, multiplier=10.0)
+        with pytest.raises(ValueError):
+            TransientBurst(start=0, end=100, multiplier=0.0)
+
+    def test_failure_cycles_cannot_be_negative(self):
+        with pytest.raises(ValueError):
+            RouterFailure(cycle=-1, router=0)
+        with pytest.raises(ValueError):
+            LinkFailure(cycle=-1, src_router=0, direction=0)
+
+    def test_intermittent_link_duty_cycle_bounds(self):
+        with pytest.raises(ValueError):
+            IntermittentLink(start=0, end=100, src_router=0, direction=0,
+                             period=10, downtime=0)
+        with pytest.raises(ValueError):
+            IntermittentLink(start=0, end=100, src_router=0, direction=0,
+                             period=10, downtime=10)
+        with pytest.raises(ValueError):
+            IntermittentLink(start=50, end=50, src_router=0, direction=0,
+                             period=10, downtime=3)
+
+    def test_thermal_attack_needs_targets_and_positive_ramp(self):
+        with pytest.raises(ValueError):
+            ThermalAttack(start=0, end=100, routers=(), delta_k=1.0)
+        with pytest.raises(ValueError):
+            ThermalAttack(start=0, end=100, routers=(1,), delta_k=-1.0)
+
+    def test_qtable_corruption_needs_upsets(self):
+        with pytest.raises(ValueError):
+            QTableCorruption(cycle=10, upsets=0)
+
+    def test_scenario_needs_name_and_reports_horizon(self):
+        with pytest.raises(ValueError):
+            FaultScenario(name="", events=())
+        scenario = FaultScenario(name="x", events=(
+            TransientBurst(start=0, end=500, multiplier=2.0),
+            RouterFailure(cycle=900, router=1),
+        ))
+        assert scenario.horizon == 900
+
+
+class TestScenarioEngine:
+    def test_burst_scales_rate_only_inside_window(self):
+        scenario = FaultScenario(name="b", events=(
+            TransientBurst(start=10, end=20, multiplier=100.0),
+        ))
+        net = make_network(scenario=scenario)
+        engine = net._scenario
+        engine.tick(0)
+        assert engine.scaled_rate(1e-6, 0) == 1e-6  # before the window
+        engine.tick(10)
+        assert engine.scaled_rate(1e-6, 0) == pytest.approx(1e-4)
+        engine.tick(20)
+        assert engine.scaled_rate(1e-6, 0) == 1e-6  # after the window
+
+    def test_regional_bursts_multiply_and_clamp(self):
+        scenario = FaultScenario(name="b", events=(
+            TransientBurst(start=0, end=100, multiplier=100.0, routers=(2,)),
+            TransientBurst(start=0, end=100, multiplier=1e9, routers=(3,)),
+        ))
+        net = make_network(scenario=scenario)
+        engine = net._scenario
+        engine.tick(0)
+        assert engine.scaled_rate(1e-6, 0) == 1e-6  # untargeted router
+        assert engine.scaled_rate(1e-6, 2) == pytest.approx(1e-4)
+        assert engine.scaled_rate(1e-6, 3) == MAX_SCENARIO_BIT_ERROR_RATE
+
+    def test_intermittent_link_duty_cycles_the_channel(self):
+        # router 5 is interior on the 4x4 mesh; direction 1 is EAST
+        outage = IntermittentLink(start=10, end=100, src_router=5, direction=1,
+                                  period=20, downtime=5)
+        net = make_network(scenario=FaultScenario(name="o", events=(outage,)))
+        channel = net.find_channel(5, 1)
+        assert channel is not None
+        engine = net._scenario
+        engine.tick(0)
+        assert not channel.down
+        engine.tick(10)
+        assert channel.down  # first downtime cycles of the period
+        engine.tick(15)
+        assert not channel.down
+        engine.tick(30)
+        assert channel.down  # next period
+        engine.tick(100)
+        assert not channel.down  # window over
+
+    def test_router_failure_fires_once_and_marks_dead(self):
+        scenario = FaultScenario(name="k", events=(RouterFailure(cycle=5, router=6),))
+        net = make_network(scenario=scenario)
+        engine = net._scenario
+        engine.tick(4)
+        assert not net.routers[6].dead
+        engine.tick(5)
+        assert net.routers[6].dead
+        assert engine.events_fired == 1
+        engine.tick(6)
+        assert engine.events_fired == 1  # one-shot
+
+    def test_thermal_attack_ramps_and_caps_temperature(self):
+        attack = ThermalAttack(start=0, end=1000, routers=(1,), delta_k=50.0,
+                               stride=10, cap_k=400.0)
+        net = make_network(scenario=FaultScenario(name="t", events=(attack,)))
+        engine = net._scenario
+        start = float(net.thermal.temperatures[1])
+        engine.tick(0)
+        assert float(net.thermal.temperatures[1]) == pytest.approx(start + 50.0)
+        for c in range(1, 101):
+            engine.tick(c)
+        assert float(net.thermal.temperatures[1]) == 400.0  # capped
+
+    def test_qtable_corruption_is_a_noop_without_agents(self):
+        scenario = FaultScenario(name="q", events=(QTableCorruption(cycle=0),))
+        net = make_network(technique=SECDED_BASELINE, scenario=scenario)
+        net._scenario.tick(0)  # static policy: no agents, no crash
+        assert net._scenario.events_fired == 0
+
+
+class TestPackRegistry:
+    def test_four_packs_registered(self):
+        assert scenario_names() == sorted(SCENARIO_PACKS)
+        for name in ("transient-storm", "aging-cliff", "hotspot-meltdown",
+                     "link-rot"):
+            assert name in SCENARIO_PACKS
+
+    def test_unknown_pack_raises_with_choices(self):
+        net = make_network()
+        with pytest.raises(ValueError, match="unknown fault scenario"):
+            build_scenario("no-such-pack", net.topology)
+
+    @pytest.mark.parametrize("name", sorted(SCENARIO_PACKS))
+    def test_packs_build_against_small_fabrics(self, name):
+        for side in (2, 4):
+            topology = make_network(width=side, height=side).topology
+            scenario = build_scenario(name, topology)
+            assert scenario.name == name
+            assert scenario.events
+            assert scenario.horizon > 0
+
+    def test_config_string_builds_the_engine(self):
+        net = make_network(fault_scenario="aging-cliff")
+        assert net._scenario is not None
+        assert net._scenario.scenario.name == "aging-cliff"
+
+    def test_empty_config_string_means_no_engine(self):
+        net = make_network()
+        assert net._scenario is None
+
+
+def run_pack(name, technique, duration=3000, seed=7, tmp_path=None):
+    noc = replace(technique.noc, width=4, height=4, fault_scenario=name)
+    tech = replace(technique, noc=noc)
+    trace = generate_parsec_trace(
+        "swa", noc.width, noc.height, duration, noc.flits_per_packet, seed
+    )
+    sanitizer = NocSanitizer(
+        interval=8, watchdog_cycles=20_000,
+        snapshot_dir=None if tmp_path is None else tmp_path / "san",
+    )
+    config = SimulationConfig(technique=tech, seed=seed)
+    net = Network(config, trace, sanitizer=sanitizer)
+    net.run_to_completion(duration * 4 + 50_000)
+    return net
+
+
+class TestPacksEndToEnd:
+    @pytest.mark.parametrize("name", sorted(SCENARIO_PACKS))
+    def test_pack_is_sanitizer_clean_and_accounting_balances(
+        self, name, tmp_path
+    ):
+        """The no-silent-loss contract: under every pack, every injected
+        packet is delivered, dropped-with-reason, or refused — and NoCSan
+        agrees throughout the run."""
+        net = run_pack(name, INTELLINOC, tmp_path=tmp_path)
+        s = net.stats
+        assert s.packets_injected > 0
+        assert s.packets_resolved == s.packets_injected
+        assert (
+            s.packets_completed + s.packets_dropped + s.packets_undeliverable
+            == s.packets_injected
+        )
+        assert net.sanitizer.violations_seen == 0
+        assert net.sanitizer.checks_run > 0
+
+    def test_aging_cliff_actually_drops_packets(self, tmp_path):
+        """The destructive pack must exercise the accounting, not just
+        trivially balance at zero drops."""
+        net = run_pack("aging-cliff", INTELLINOC, tmp_path=tmp_path)
+        s = net.stats
+        assert len(net._dead_routers) == 2
+        assert s.packets_dropped + s.packets_undeliverable > 0
+        assert s.delivery_ratio < 1.0
+        assert s.flits_dropped > 0
+
+    def test_scenario_runs_are_seed_deterministic(self):
+        a = run_pack("aging-cliff", INTELLINOC, duration=1500, seed=11)
+        b = run_pack("aging-cliff", INTELLINOC, duration=1500, seed=11)
+        for net in (a, b):
+            assert net._scenario.events_fired > 0
+        assert a.cycle == b.cycle
+        assert a.stats.packets_injected == b.stats.packets_injected
+        assert a.stats.packets_completed == b.stats.packets_completed
+        assert a.stats.packets_dropped == b.stats.packets_dropped
+        assert a.stats.packets_undeliverable == b.stats.packets_undeliverable
+        assert a.stats.latency_sum == b.stats.latency_sum
+        assert a.stats.flits_dropped == b.stats.flits_dropped
+
+
+class TestZeroOverhead:
+    """The scenario analogue of telemetry's zero-overhead contract."""
+
+    @staticmethod
+    def fingerprint(net):
+        net.run_to_completion(60_000)
+        s = net.stats
+        return (
+            net.cycle,
+            s.packets_injected,
+            s.packets_completed,
+            s.flits_delivered,
+            s.latency_sum,
+            s.total_retransmitted_flits,
+            dict(s.mode_cycles),
+        )
+
+    @pytest.mark.parametrize("technique", [SECDED_BASELINE, INTELLINOC],
+                             ids=["secded", "intellinoc"])
+    def test_no_scenario_run_matches_idle_scenario_run(self, technique):
+        """A scenario whose events never fire must be bit-transparent:
+        the hooks are present but must not perturb anything."""
+        events = [
+            TraceEvent(c, c % 16, (c + 5) % 16, 4) for c in range(0, 900, 3)
+        ]
+        idle = FaultScenario(name="idle", events=(
+            TransientBurst(start=10**9, end=10**9 + 1, multiplier=2.0),
+            RouterFailure(cycle=10**9, router=0),
+        ))
+        baseline = self.fingerprint(make_network(technique=technique,
+                                                 events=events))
+        with_idle = self.fingerprint(make_network(technique=technique,
+                                                  events=events,
+                                                  scenario=idle))
+        assert with_idle == baseline
