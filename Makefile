@@ -1,14 +1,23 @@
-.PHONY: install lint test bench figures examples clean
+.PHONY: install lint lint-baseline test bench figures examples clean
 
 install:
 	pip install -e . || python setup.py develop
 
-# NoCSan static pass (docs/analysis.md); mypy runs too when installed.
+# NoCSan whole-program pass (docs/analysis.md); mypy runs too when installed.
 lint:
-	PYTHONPATH=src python -m repro.analysis.lint src
+	PYTHONPATH=src python -m repro.analysis.lint src tests benchmarks \
+		--exclude tests/analysis/fixtures \
+		--baseline lint-baseline.json --cache --stats
 	@python -c "import mypy" 2>/dev/null \
 		&& python -m mypy --strict -p repro.exec -p repro.config -p repro.metrics -p repro.telemetry \
+		&& python -m mypy -p repro.analysis \
 		|| echo "mypy not installed; skipped type check"
+
+# Accept the current NoCSan findings into the committed baseline.
+lint-baseline:
+	PYTHONPATH=src python -m repro.analysis.lint src tests benchmarks \
+		--exclude tests/analysis/fixtures \
+		--baseline lint-baseline.json --update-baseline
 
 test:
 	pytest tests/

@@ -17,7 +17,7 @@ def test_fig09_speedup(benchmark, runner):
     )
     publish("fig09_speedup", table, extra)
 
-    assert averages["SECDED"] == 1.0
+    assert averages["SECDED"] == 1.0  # noqa: NOC302 -- exact value is the determinism contract under test
     # IntelliNoC is at least as fast as the baseline and within the top two.
     assert averages["IntelliNoC"] >= 0.97
     ranked = sorted(averages, key=averages.get, reverse=True)

@@ -17,7 +17,7 @@ def test_fig10_latency(benchmark, runner):
     )
     publish("fig10_latency", table, extra)
 
-    assert averages["SECDED"] == 1.0
+    assert averages["SECDED"] == 1.0  # noqa: NOC302 -- exact value is the determinism contract under test
     assert averages["EB"] < 1.0  # VA elimination pays off
     assert averages["IntelliNoC"] < 1.0
     ranked = sorted(averages, key=averages.get)

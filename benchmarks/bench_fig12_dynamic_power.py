@@ -16,7 +16,7 @@ def test_fig12_dynamic_power(benchmark, runner):
     )
     publish("fig12_dynamic_power", table, extra)
 
-    assert averages["SECDED"] == 1.0
+    assert averages["SECDED"] == 1.0  # noqa: NOC302 -- exact value is the determinism contract under test
     # The adaptive techniques beat the static-SECDED channel design (CP).
     assert averages["IntelliNoC"] < averages["CP"]
     assert averages["IntelliNoC"] < 1.0

@@ -17,7 +17,7 @@ def test_fig13_energy_efficiency(benchmark, runner):
     )
     publish("fig13_energy_efficiency", table, extra)
 
-    assert averages["SECDED"] == 1.0
+    assert averages["SECDED"] == 1.0  # noqa: NOC302 -- exact value is the determinism contract under test
     assert averages["IntelliNoC"] == max(averages.values())
     assert averages["IntelliNoC"] > 1.2
     assert averages["IntelliNoC"] > averages["CPD"]

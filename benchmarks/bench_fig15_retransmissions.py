@@ -16,6 +16,6 @@ def test_fig15_retransmissions(benchmark, runner):
     )
     publish("fig15_retransmissions", table, extra)
 
-    assert averages["SECDED"] == 1.0
+    assert averages["SECDED"] == 1.0  # noqa: NOC302 -- exact value is the determinism contract under test
     # IntelliNoC reduces retransmission traffic vs the static baseline.
     assert averages["IntelliNoC"] < 1.0

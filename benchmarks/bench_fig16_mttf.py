@@ -17,6 +17,6 @@ def test_fig16_mttf(benchmark, runner):
     )
     publish("fig16_mttf", table, extra)
 
-    assert averages["SECDED"] == 1.0
+    assert averages["SECDED"] == 1.0  # noqa: NOC302 -- exact value is the determinism contract under test
     assert averages["IntelliNoC"] == max(averages.values())
     assert averages["IntelliNoC"] > 1.3

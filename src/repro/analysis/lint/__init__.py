@@ -1,529 +1,193 @@
-"""Project lint pass: AST rules the simulator must hold to stay sound.
+"""NoCSan: project-specific determinism/layering/safety/contract lint.
 
-Usage::
+v2 is a multi-pass, whole-program analyzer (see ``docs/analysis.md``):
 
-    python -m repro.analysis.lint src            # lint a tree (exit 1 on hits)
-    python -m repro.analysis.lint --list-rules   # print the rule catalogue
+* per-file AST rules (NOC10x/20x/30x) + intra-file dataflow
+  (:mod:`.dataflow`: RNG provenance NOC110/111, telemetry guards NOC404),
+* a project import-graph pass (:mod:`.project`: transitive layering
+  NOC203, cycles NOC204),
+* a schema-contract pass (:mod:`.contracts`: NOC401–403),
+* infrastructure: content-addressed caching (:mod:`.cache`), a violation
+  baseline (:mod:`.baseline`), JSON/SARIF emitters (:mod:`.emit`).
 
-Three rule families (full catalogue with rationale in ``docs/analysis.md``):
-
-* **D — determinism (NOC1xx).**  Every run must be a pure function of
-  ``(config, trace, seed)``; the result cache serves artifacts by spec
-  hash, so any ambient entropy silently poisons cached campaigns.
-* **L — layering (NOC2xx).**  Simulation packages (``repro.noc``,
-  ``repro.channels``, ``repro.rl``) must stay importable without the
-  campaign/CLI/report layers, and cell specs must stay frozen so their
-  content hashes are stable.
-* **S — safety (NOC3xx).**  No bare ``except`` (it swallows
-  ``KeyboardInterrupt`` and masks simulator bugs), no float equality in
-  simulation logic (accumulated energies/temperatures are never exact).
-
-Any rule is suppressible per line with ``# noqa: NOC### -- <reason>``;
-the reason is mandatory (a reasonless ``noqa`` is itself a violation,
-NOC000) so every suppression documents why the rule does not apply.
+The v1 API (``lint_source``, ``lint_paths``, ``main``, ``RULES``,
+``Violation``, ``LintReport``) is preserved; new callers should prefer
+:func:`repro.analysis.lint.engine.run_engine`.
 """
 
 from __future__ import annotations
 
 import argparse
-import ast
-import re
+import json
+import os
 import sys
-from dataclasses import dataclass, field
-from pathlib import Path
 
-RULES: dict[str, str] = {
-    "NOC000": "suppression without a reason: write `# noqa: NOC### -- why`",
-    "NOC100": "file does not parse",
-    "NOC101": "ambient RNG call: draw from an injected np.random.Generator",
-    "NOC102": "wall-clock/entropy source inside the simulator",
-    "NOC103": "iteration over an unordered set in simulation code",
-    "NOC104": "mutable default argument",
-    "NOC105": "sleep/timer call inside a simulation package: stay cycle-driven",
-    "NOC201": "simulation package imports an orchestration layer",
-    "NOC202": "cell-spec dataclass is not frozen",
-    "NOC301": "bare `except:` clause",
-    "NOC302": "float equality comparison in simulation logic",
-}
-
-#: Generator *constructors* are how deterministic streams are injected;
-#: everything else on random/np.random is hidden process-global state.
-_RNG_CONSTRUCTORS = frozenset(
-    {"default_rng", "SeedSequence", "Generator", "BitGenerator",
-     "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937"}
+from repro.analysis.lint.baseline import Baseline
+from repro.analysis.lint.cache import DEFAULT_CACHE_NAME, AnalysisCache
+from repro.analysis.lint.emit import report_to_json, report_to_sarif
+from repro.analysis.lint.engine import EngineReport, run_engine
+from repro.analysis.lint.filepass import analyze_source
+from repro.analysis.lint.rules import (
+    LINT_VERSION,
+    RULES,
+    LintReport,
+    Violation,
 )
 
-#: Calls that read the wall clock or the OS entropy pool.  Monotonic
-#: timers (time.monotonic, time.perf_counter) stay legal: they may only
-#: feed diagnostics like runtime_seconds, never simulated state.
-_CLOCK_ENTROPY = frozenset(
-    {
-        "time.time",
-        "time.time_ns",
-        "datetime.datetime.now",
-        "datetime.datetime.utcnow",
-        "datetime.datetime.today",
-        "datetime.date.today",
-        "os.urandom",
-        "uuid.uuid1",
-        "uuid.uuid4",
-    }
-)
-
-#: Wall-clock stalls and timer reads banned *inside the simulator*
-#: (NOC105): simulated time is cycle-driven, so sleeping can only hide an
-#: orchestration concern, and even monotonic reads belong to the
-#: harness/backoff layer (diagnostic uses carry a reasoned noqa).
-_SIM_TIMER_CALLS = frozenset(
-    {
-        "time.sleep",
-        "time.monotonic",
-        "time.monotonic_ns",
-        "time.perf_counter",
-        "time.perf_counter_ns",
-    }
-)
-
-#: repro.<pkg> packages at simulation altitude — the hardware models plus
-#: the telemetry observers embedded in them: they must import neither the
-#: campaign engine nor the presentation layers.
-_SIM_PACKAGES = (
-    "repro.noc",
-    "repro.channels",
-    "repro.rl",
-    "repro.telemetry",
-    "repro.faults",
-)
-_ORCHESTRATION_PACKAGES = ("repro.exec", "repro.cli", "repro.report")
-
-_MUTABLE_CONSTRUCTORS = frozenset(
-    {"list", "dict", "set", "bytearray", "deque", "defaultdict",
-     "Counter", "OrderedDict"}
-)
-
-_NOQA_RE = re.compile(
-    r"#\s*noqa:\s*(?P<rules>NOC\d{3}(?:\s*,\s*NOC\d{3})*)"
-    r"(?:\s*--\s*(?P<reason>\S.*))?"
-)
-
-
-@dataclass(frozen=True)
-class Violation:
-    """One rule hit at one source location."""
-
-    rule: str
-    path: str
-    line: int
-    col: int
-    message: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
-
-
-@dataclass
-class LintReport:
-    """Outcome of linting a set of files."""
-
-    violations: list[Violation] = field(default_factory=list)
-    suppressed: int = 0
-    files: int = 0
-
-    @property
-    def ok(self) -> bool:
-        return not self.violations
-
-
-def _module_name(path: Path) -> str:
-    """Dotted module path of *path*, anchored at the `repro` package."""
-    parts = list(path.parts)
-    if "repro" in parts:
-        parts = parts[parts.index("repro"):]
-    name = ".".join(parts)
-    return name[:-3] if name.endswith(".py") else name
-
-
-def _dotted(node: ast.expr) -> str | None:
-    """`a.b.c` attribute chain as a dotted string, or None."""
-    chain: list[str] = []
-    while isinstance(node, ast.Attribute):
-        chain.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        chain.append(node.id)
-        return ".".join(reversed(chain))
-    return None
-
-
-def _is_float_const(node: ast.expr) -> bool:
-    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
-        node = node.operand
-    return isinstance(node, ast.Constant) and isinstance(node.value, float)
-
-
-def _is_set_expr(node: ast.expr) -> bool:
-    """Whether *node* is statically, structurally a set."""
-    if isinstance(node, (ast.Set, ast.SetComp)):
-        return True
-    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
-        return node.func.id in ("set", "frozenset")
-    return False
-
-
-def _is_set_annotation(node: ast.expr) -> bool:
-    target = node.value if isinstance(node, ast.Subscript) else node
-    if isinstance(target, ast.Name):
-        return target.id in ("set", "frozenset", "Set", "FrozenSet", "AbstractSet")
-    if isinstance(target, ast.Attribute):
-        return target.attr in ("Set", "FrozenSet", "AbstractSet")
-    return False
-
-
-class _SetAttributeCollector(ast.NodeVisitor):
-    """First pass over one class: which `self.<name>` attributes are sets?"""
-
-    def __init__(self) -> None:
-        self.set_attrs: list[str] = []
-
-    def _maybe_add(self, target: ast.expr) -> None:
-        if (
-            isinstance(target, ast.Attribute)
-            and isinstance(target.value, ast.Name)
-            and target.value.id == "self"
-            and target.attr not in self.set_attrs
-        ):
-            self.set_attrs.append(target.attr)
-
-    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
-        if _is_set_annotation(node.annotation):
-            self._maybe_add(node.target)
-        self.generic_visit(node)
-
-    def visit_Assign(self, node: ast.Assign) -> None:
-        if node.value is not None and _is_set_expr(node.value):
-            for target in node.targets:
-                self._maybe_add(target)
-        self.generic_visit(node)
-
-    def visit_ClassDef(self, node: ast.ClassDef) -> None:
-        pass  # nested classes collect their own attributes
-
-
-class _FileLinter(ast.NodeVisitor):
-    """All rules over one parsed file."""
-
-    def __init__(self, path: str, module: str):
-        self.path = path
-        self.module = module
-        self.violations: list[Violation] = []
-        # alias -> canonical dotted module ("np" -> "numpy"); from-imports
-        # map the bound name to its fully qualified origin.
-        self.aliases: dict[str, str] = {}
-        self.in_sim_package = any(
-            module == pkg or module.startswith(pkg + ".") for pkg in _SIM_PACKAGES
-        )
-        self.is_spec_module = module == "repro.exec.spec"
-        self.class_set_attrs: list[dict[str, bool]] = []
-        self.local_sets: list[dict[str, bool]] = []
-
-    # --- bookkeeping ----------------------------------------------------------
-
-    def report(self, rule: str, node: ast.AST, detail: str = "") -> None:
-        message = RULES[rule] + (f" ({detail})" if detail else "")
-        self.violations.append(
-            Violation(rule, self.path, node.lineno, node.col_offset, message)
-        )
-
-    def _resolve(self, name: str) -> str:
-        head, _, rest = name.partition(".")
-        origin = self.aliases.get(head)
-        if origin is None:
-            return name
-        return f"{origin}.{rest}" if rest else origin
-
-    # --- imports (alias tracking + NOC201) ------------------------------------
-
-    def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            self.aliases[alias.asname or alias.name.partition(".")[0]] = (
-                alias.name if alias.asname else alias.name.partition(".")[0]
-            )
-            self._check_layering(alias.name, node)
-        self.generic_visit(node)
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module and node.level == 0:
-            for alias in node.names:
-                self.aliases[alias.asname or alias.name] = (
-                    f"{node.module}.{alias.name}"
-                )
-            self._check_layering(node.module, node)
-        self.generic_visit(node)
-
-    def _check_layering(self, imported: str, node: ast.AST) -> None:
-        if not self.in_sim_package:
-            return
-        for banned in _ORCHESTRATION_PACKAGES:
-            if imported == banned or imported.startswith(banned + "."):
-                self.report("NOC201", node, f"{self.module} imports {imported}")
-
-    # --- calls (NOC101 + NOC102) ----------------------------------------------
-
-    def visit_Call(self, node: ast.Call) -> None:
-        name = _dotted(node.func)
-        if name is not None:
-            resolved = self._resolve(name)
-            if self._is_ambient_rng(resolved):
-                self.report("NOC101", node, resolved)
-            elif resolved in _CLOCK_ENTROPY or resolved.startswith("secrets."):
-                self.report("NOC102", node, resolved)
-            elif self.in_sim_package and resolved in _SIM_TIMER_CALLS:
-                self.report("NOC105", node, resolved)
-        self.generic_visit(node)
-
-    @staticmethod
-    def _is_ambient_rng(resolved: str) -> bool:
-        for prefix in ("random.", "numpy.random."):
-            if resolved.startswith(prefix):
-                return resolved.rsplit(".", 1)[-1] not in _RNG_CONSTRUCTORS
-        return False
-
-    # --- set iteration (NOC103) ------------------------------------------------
-
-    def _known_set(self, node: ast.expr) -> bool:
-        if _is_set_expr(node):
-            return True
-        if isinstance(node, ast.Name):
-            return any(node.id in scope for scope in reversed(self.local_sets))
-        if (
-            isinstance(node, ast.Attribute)
-            and isinstance(node.value, ast.Name)
-            and node.value.id == "self"
-            and self.class_set_attrs
-        ):
-            return node.attr in self.class_set_attrs[-1]
-        return False
-
-    def _check_iteration(self, iter_node: ast.expr, where: ast.AST) -> None:
-        if self._known_set(iter_node):
-            self.report("NOC103", where, "wrap in sorted() for a stable order")
-
-    def visit_For(self, node: ast.For) -> None:
-        self._check_iteration(node.iter, node)
-        self.generic_visit(node)
-
-    def _visit_comprehension(self, node: ast.expr) -> None:
-        for gen in getattr(node, "generators", []):
-            self._check_iteration(gen.iter, node)
-        self.generic_visit(node)
-
-    visit_ListComp = _visit_comprehension
-    visit_SetComp = _visit_comprehension
-    visit_DictComp = _visit_comprehension
-    visit_GeneratorExp = _visit_comprehension
-
-    def visit_Assign(self, node: ast.Assign) -> None:
-        if self.local_sets and _is_set_expr(node.value):
-            for target in node.targets:
-                if isinstance(target, ast.Name):
-                    self.local_sets[-1][target.id] = True
-        self.generic_visit(node)
-
-    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
-        if (
-            self.local_sets
-            and isinstance(node.target, ast.Name)
-            and (_is_set_annotation(node.annotation)
-                 or (node.value is not None and _is_set_expr(node.value)))
-        ):
-            self.local_sets[-1][node.target.id] = True
-        self.generic_visit(node)
-
-    # --- scopes ----------------------------------------------------------------
-
-    def _visit_function(self, node: ast.AST) -> None:
-        self._check_defaults(node)
-        self.local_sets.append({})
-        self.generic_visit(node)
-        self.local_sets.pop()
-
-    visit_FunctionDef = _visit_function
-    visit_AsyncFunctionDef = _visit_function
-
-    def visit_ClassDef(self, node: ast.ClassDef) -> None:
-        collector = _SetAttributeCollector()
-        for stmt in node.body:
-            collector.visit(stmt)
-        self.class_set_attrs.append(dict.fromkeys(collector.set_attrs, True))
-        self._check_spec_frozen(node)
-        self.generic_visit(node)
-        self.class_set_attrs.pop()
-
-    # --- mutable defaults (NOC104) ---------------------------------------------
-
-    def _check_defaults(self, node: ast.AST) -> None:
-        args = getattr(node, "args", None)
-        if args is None:
-            return
-        for default in list(args.defaults) + [
-            d for d in args.kw_defaults if d is not None
-        ]:
-            if isinstance(default, (ast.List, ast.Dict, ast.Set)):
-                self.report("NOC104", default)
-            elif (
-                isinstance(default, ast.Call)
-                and isinstance(default.func, ast.Name)
-                and default.func.id in _MUTABLE_CONSTRUCTORS
-            ):
-                self.report("NOC104", default)
-
-    # --- frozen specs (NOC202) -------------------------------------------------
-
-    def _check_spec_frozen(self, node: ast.ClassDef) -> None:
-        if not self.is_spec_module:
-            return
-        for decorator in node.decorator_list:
-            name = _dotted(
-                decorator.func if isinstance(decorator, ast.Call) else decorator
-            )
-            if name is None or name.rsplit(".", 1)[-1] != "dataclass":
-                continue
-            frozen = isinstance(decorator, ast.Call) and any(
-                kw.arg == "frozen"
-                and isinstance(kw.value, ast.Constant)
-                and kw.value.value is True
-                for kw in decorator.keywords
-            )
-            if not frozen:
-                self.report("NOC202", node, f"@dataclass(frozen=True) on {node.name}")
-
-    # --- safety (NOC301 + NOC302) ----------------------------------------------
-
-    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
-        if node.type is None:
-            self.report("NOC301", node)
-        self.generic_visit(node)
-
-    def visit_Compare(self, node: ast.Compare) -> None:
-        has_eq = any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops)
-        if has_eq and any(
-            _is_float_const(operand) for operand in [node.left] + node.comparators
-        ):
-            self.report("NOC302", node, "compare against a tolerance instead")
-        self.generic_visit(node)
-
-
-def _apply_noqa(
-    violations: list[Violation], source: str, path: str
-) -> tuple[list[Violation], int]:
-    """Filter suppressed violations; reasonless suppressions become NOC000."""
-    directives: dict[int, tuple[list[str], str | None, int]] = {}
-    for lineno, text in enumerate(source.splitlines(), start=1):
-        match = _NOQA_RE.search(text)
-        if match:
-            rules = [r.strip() for r in match.group("rules").split(",")]
-            directives[lineno] = (rules, match.group("reason"), match.start())
-
-    kept: list[Violation] = []
-    suppressed = 0
-    flagged_reasonless: dict[int, bool] = {}
-    for violation in violations:
-        directive = directives.get(violation.line)
-        if directive is None or violation.rule not in directive[0]:
-            kept.append(violation)
-            continue
-        suppressed += 1
-        if directive[1] is None and violation.line not in flagged_reasonless:
-            flagged_reasonless[violation.line] = True
-            kept.append(Violation(
-                "NOC000", path, violation.line, directive[2],
-                RULES["NOC000"] + f" (suppressing {violation.rule})",
-            ))
-    return kept, suppressed
+__all__ = [
+    "LINT_VERSION",
+    "RULES",
+    "Violation",
+    "LintReport",
+    "lint_source",
+    "lint_paths",
+    "run_engine",
+    "main",
+]
 
 
 def lint_source(source: str, path: str = "<string>") -> list[Violation]:
     """Lint one file's text; returns unsuppressed violations."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [Violation(
-            "NOC100", path, exc.lineno or 1, (exc.offset or 1) - 1,
-            RULES["NOC100"] + f" ({exc.msg})",
-        )]
-    linter = _FileLinter(path, _module_name(Path(path)))
-    linter.visit(tree)
-    kept, _ = _apply_noqa(linter.violations, source, path)
-    return kept
-
-
-def _python_files(paths: list[str]) -> list[Path]:
-    files: list[Path] = []
-    for raw in paths:
-        path = Path(raw)
-        if path.is_dir():
-            files.extend(
-                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
-            )
-        else:
-            files.append(path)
-    return sorted(set(files))
+    return analyze_source(source, path).violations
 
 
 def lint_paths(paths: list[str]) -> LintReport:
-    """Lint every ``.py`` file under *paths* (files or directories)."""
-    report = LintReport()
-    for path in _python_files(paths):
-        try:
-            source = path.read_text(encoding="utf-8")
-        except OSError as exc:
-            report.violations.append(
-                Violation("NOC100", str(path), 1, 0, f"unreadable: {exc}")
-            )
-            continue
-        report.files += 1
-        try:
-            tree = ast.parse(source, filename=str(path))
-        except SyntaxError as exc:
-            report.violations.append(Violation(
-                "NOC100", str(path), exc.lineno or 1, (exc.offset or 1) - 1,
-                RULES["NOC100"] + f" ({exc.msg})",
-            ))
-            continue
-        linter = _FileLinter(str(path), _module_name(path))
-        linter.visit(tree)
-        kept, suppressed = _apply_noqa(linter.violations, source, str(path))
-        report.violations.extend(kept)
-        report.suppressed += suppressed
-    report.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
-    return report
-
-
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.analysis.lint",
-        description="Project-specific determinism/layering/safety lint.",
+    """Lint every ``.py`` file under *paths*, whole-program passes included."""
+    engine_report = run_engine(paths)
+    return LintReport(
+        violations=engine_report.violations,
+        suppressed=engine_report.suppressed,
+        files=engine_report.files,
     )
-    parser.add_argument("paths", nargs="*", default=["src"],
-                        help="files or directories to lint (default: src)")
+
+
+def add_cli_arguments(
+    parser: argparse.ArgumentParser,
+    *,
+    default_paths: list[str] | None = None,
+    default_baseline: str | None = None,
+    default_excludes: list[str] | None = None,
+) -> None:
+    """Install the lint CLI surface on *parser* (shared with ``repro lint``)."""
+    parser.add_argument(
+        "paths", nargs="*", default=list(default_paths or ["src"]),
+        help=f"files or directories to lint (default: {default_paths or ['src']})",
+    )
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
-    args = parser.parse_args(argv)
+    parser.add_argument("--exclude", action="append", default=[],
+                        metavar="PATH",
+                        help="path prefix to skip (repeatable)")
+    parser.add_argument("--baseline", metavar="FILE", default=default_baseline,
+                        help="accepted-violations file; only new findings fail")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline: report every violation")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite --baseline from the current findings")
+    parser.add_argument("--cache", nargs="?", const=DEFAULT_CACHE_NAME,
+                        default=None, metavar="FILE",
+                        help="incremental analysis cache "
+                             f"(default file: {DEFAULT_CACHE_NAME})")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for cold analysis")
+    parser.add_argument("--json", metavar="FILE", dest="json_out",
+                        help="write a JSON report ('-' for stdout)")
+    parser.add_argument("--sarif", metavar="FILE", dest="sarif_out",
+                        help="write a SARIF 2.1.0 report ('-' for stdout)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print runtime/cache statistics to stderr")
+    parser.set_defaults(default_excludes=list(default_excludes or []))
 
+
+def build_arg_parser(prog: str = "python -m repro.analysis.lint") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Project-specific determinism/layering/safety/contract lint.",
+    )
+    add_cli_arguments(parser)
+    return parser
+
+
+def _write_report(text: str, destination: str) -> None:
+    if destination == "-":
+        sys.stdout.write(text + "\n")
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+
+def run_cli(args: argparse.Namespace) -> int:
+    """The v2 CLI behind both ``python -m`` and ``repro lint``."""
     if args.list_rules:
         for rule, summary in sorted(RULES.items()):
             print(f"{rule}  {summary}")
         return 0
 
-    report = lint_paths(args.paths or ["src"])
-    for violation in report.violations:
-        print(violation.render())
-    print(
-        f"{report.files} files, {len(report.violations)} violations, "
-        f"{report.suppressed} suppressed",
-        file=sys.stderr,
+    baseline_path = None if args.no_baseline else args.baseline
+    if args.update_baseline and not baseline_path:
+        print("--update-baseline requires --baseline FILE", file=sys.stderr)
+        return 2
+
+    excludes = list(getattr(args, "default_excludes", [])) + args.exclude
+    cache = AnalysisCache.load(args.cache) if args.cache else None
+    report: EngineReport = run_engine(
+        args.paths or ["src"],
+        excludes=excludes,
+        cache=cache,
+        jobs=args.jobs,
     )
-    return 1 if report.violations else 0
+    if cache is not None:
+        cache.save()
+
+    if args.update_baseline:
+        Baseline.from_violations(report.violations).save(baseline_path)
+        print(
+            f"baseline {baseline_path} updated: "
+            f"{len(report.violations)} accepted violations",
+            file=sys.stderr,
+        )
+        return 0
+
+    baselined = 0
+    fresh = report.violations
+    if baseline_path:
+        if not os.path.exists(baseline_path):
+            print(
+                f"baseline file {baseline_path} not found "
+                "(create it with --update-baseline)",
+                file=sys.stderr,
+            )
+            return 2
+        fresh, baselined = Baseline.load(baseline_path).filter(report.violations)
+
+    stats = report.stats.to_dict()
+    if args.json_out:
+        payload = report_to_json(
+            fresh, files=report.files, suppressed=report.suppressed,
+            baselined=baselined, stats=stats,
+        )
+        _write_report(json.dumps(payload, indent=2, sort_keys=True), args.json_out)
+    if args.sarif_out:
+        sarif = report_to_sarif(fresh, stats=stats)
+        _write_report(json.dumps(sarif, indent=2, sort_keys=True), args.sarif_out)
+
+    for violation in fresh:
+        print(violation.render())
+    summary = (
+        f"{report.files} files, {len(fresh)} violations, "
+        f"{report.suppressed} suppressed, {baselined} baselined"
+    )
+    if args.stats:
+        summary += (
+            f" | {stats['wall_seconds']}s, {stats['files_per_second']} files/s, "
+            f"cache hit rate {stats['cache_hit_rate']:.0%}"
+        )
+    print(summary, file=sys.stderr)
+    return 1 if fresh else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    return run_cli(build_arg_parser().parse_args(argv))
 
 
 if __name__ == "__main__":

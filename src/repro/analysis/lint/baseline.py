@@ -1,0 +1,91 @@
+"""Violation baseline: ratchet new rules in without a big-bang cleanup.
+
+The baseline records *known* violations so ``repro lint`` only fails on
+regressions.  Entries are keyed by ``(rule, path, context-line text)``
+with a count, not by line number: unrelated edits that shift a file down
+do not invalidate the baseline, while fixing the flagged line (its text
+changes) retires the entry on the next ``--update-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.lint.rules import Violation
+
+BASELINE_FORMAT = 1
+
+_SEP = "\x1f"  # unit separator: never appears in rule/path/context
+
+
+def _key(violation: Violation) -> str:
+    return _SEP.join((violation.rule, violation.path, violation.context))
+
+
+@dataclass
+class Baseline:
+    """A multiset of accepted violations."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_violations(cls, violations: list[Violation]) -> "Baseline":
+        baseline = cls()
+        for violation in violations:
+            key = _key(violation)
+            baseline.counts[key] = baseline.counts.get(key, 0) + 1
+        return baseline
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+        if raw.get("format") != BASELINE_FORMAT:
+            raise ValueError(
+                f"unsupported baseline format in {path}: {raw.get('format')!r}"
+            )
+        baseline = cls()
+        for entry in raw.get("entries", []):
+            key = _SEP.join(
+                (str(entry["rule"]), str(entry["path"]), str(entry["context"]))
+            )
+            baseline.counts[key] = baseline.counts.get(key, 0) + int(
+                entry.get("count", 1)
+            )
+        return baseline
+
+    def save(self, path: str) -> None:
+        entries = []
+        for key in sorted(self.counts):
+            rule, vpath, context = key.split(_SEP, 2)
+            entries.append(
+                {
+                    "rule": rule,
+                    "path": vpath,
+                    "context": context,
+                    "count": self.counts[key],
+                }
+            )
+        payload: dict[str, Any] = {"format": BASELINE_FORMAT, "entries": entries}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def filter(
+        self, violations: list[Violation]
+    ) -> tuple[list[Violation], int]:
+        """(new violations, number absorbed by the baseline)."""
+        budget = dict(self.counts)
+        fresh: list[Violation] = []
+        absorbed = 0
+        for violation in violations:
+            key = _key(violation)
+            remaining = budget.get(key, 0)
+            if remaining > 0:
+                budget[key] = remaining - 1
+                absorbed += 1
+            else:
+                fresh.append(violation)
+        return fresh, absorbed

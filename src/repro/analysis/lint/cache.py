@@ -1,0 +1,162 @@
+"""Incremental analysis cache: per-file facts + violations keyed by content.
+
+Each entry stores the full :class:`~repro.analysis.lint.filepass.FileAnalysis`
+(violations *and* facts), so a warm run can skip parsing entirely and still
+re-run the whole-program passes over up-to-date facts.
+
+Freshness is two-tier:
+
+* fast path — ``st_mtime_ns`` + ``st_size`` match the recorded stat, no
+  file read at all;
+* slow path — the stat changed (checkout, touch) but the sha256 of the
+  content still matches, so the analysis is reused and the stat refreshed.
+
+The whole cache is invalidated when the rule catalogue or engine version
+changes (``rules_sig``), so new rules always see every file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.lint.filepass import FileAnalysis
+from repro.analysis.lint.rules import LINT_VERSION, RULES
+
+#: Default cache file name (repo-root relative), used by ``--cache``.
+DEFAULT_CACHE_NAME = ".nocsan_cache.json"
+
+_CACHE_FORMAT = 1
+
+
+def rules_signature() -> str:
+    """Fingerprint of the rule catalogue + engine version."""
+    payload = LINT_VERSION + "".join(
+        f"{rule}={text};" for rule, text in sorted(RULES.items())
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def content_sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class AnalysisCache:
+    """On-disk map of file path -> (stat, content hash, analysis)."""
+
+    path: str | None = None
+    entries: dict[str, dict[str, Any]] = field(default_factory=dict)
+    stats: CacheStats = field(default_factory=CacheStats)
+    _dirty: bool = False
+
+    @classmethod
+    def load(cls, path: str | None) -> "AnalysisCache":
+        cache = cls(path=path)
+        if path is None or not os.path.exists(path):
+            return cache
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+        except (OSError, ValueError):
+            return cache  # unreadable/corrupt cache: start cold
+        if (
+            raw.get("format") != _CACHE_FORMAT
+            or raw.get("rules_sig") != rules_signature()
+        ):
+            cache._dirty = True  # stale signature: rewrite on save
+            return cache
+        entries = raw.get("files")
+        if isinstance(entries, dict):
+            cache.entries = entries
+        return cache
+
+    def lookup(self, file_path: str) -> FileAnalysis | None:
+        """Cached analysis if *file_path* is unchanged, else None.
+
+        Counts a hit/miss either way; a miss leaves the entry untouched
+        (the caller stores the fresh analysis).
+        """
+        entry = self.entries.get(file_path)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        try:
+            stat = os.stat(file_path)
+        except OSError:
+            self.stats.misses += 1
+            return None
+        if (
+            entry.get("mtime_ns") == stat.st_mtime_ns
+            and entry.get("size") == stat.st_size
+        ):
+            self.stats.hits += 1
+            return FileAnalysis.from_dict(entry["analysis"])
+        # stat drifted; content may still be identical (e.g. re-checkout)
+        try:
+            with open(file_path, "rb") as handle:
+                digest = content_sha256(handle.read())
+        except OSError:
+            self.stats.misses += 1
+            return None
+        if entry.get("sha256") == digest:
+            entry["mtime_ns"] = stat.st_mtime_ns
+            entry["size"] = stat.st_size
+            self._dirty = True
+            self.stats.hits += 1
+            return FileAnalysis.from_dict(entry["analysis"])
+        self.stats.misses += 1
+        return None
+
+    def store(self, file_path: str, data: bytes, analysis: FileAnalysis) -> None:
+        try:
+            stat = os.stat(file_path)
+        except OSError:
+            return
+        self.entries[file_path] = {
+            "mtime_ns": stat.st_mtime_ns,
+            "size": stat.st_size,
+            "sha256": content_sha256(data),
+            "analysis": analysis.to_dict(),
+        }
+        self._dirty = True
+
+    def prune(self, live_paths: set[str]) -> None:
+        """Drop entries for files no longer part of the analyzed set."""
+        dead = [p for p in self.entries if p not in live_paths]
+        for path in dead:
+            del self.entries[path]
+            self._dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        payload = {
+            "format": _CACHE_FORMAT,
+            "rules_sig": rules_signature(),
+            "files": self.entries,
+        }
+        tmp = self.path + ".tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

@@ -1,0 +1,235 @@
+"""Schema-contract pass: config fields vs the schema-evolution registry.
+
+The execution engine keys its on-disk result cache by a content hash of
+the spec dataclasses (``repro.config.canonical_value``).  Adding a field
+to a hashed dataclass silently changes every existing cache key — unless
+the field is registered in ``_SCHEMA_EVOLUTION_DEFAULTS`` with a default
+equal to the dataclass default, in which case the canonical encoder omits
+it while it holds that default and old hashes survive.
+
+This pass makes the contract a lint error instead of a silent cache bust:
+
+* **NOC401** — a field of a hashed dataclass is neither part of the
+  pre-evolution baseline shape nor registered in the evolution registry.
+* **NOC402** — a registered evolution default disagrees with the
+  dataclass default (the omission rule would then never fire, or fire
+  for the wrong value) or the field has no dataclass default at all.
+* **NOC403** — the registry names a class or field that does not exist;
+  dead entries mask real drift.
+
+The *baseline* shapes below are the field sets at the moment each class
+was first content-hashed; they are deliberately hard-coded — the whole
+point is that this file must change (or the registry must grow) whenever
+a hashed shape changes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis.lint.filepass import (
+    NON_LITERAL,
+    DataclassFact,
+    FieldFact,
+    FileFacts,
+    RegistryEntryFact,
+)
+from repro.analysis.lint.rules import RULES, Violation
+
+#: Dataclasses whose canonical form feeds content hashes (CellSpec and
+#: everything reachable from it).  PowerConfig and SimulationConfig are
+#: not part of the cell hash and are exempt.
+HASHED_DATACLASSES = frozenset(
+    {
+        "NocConfig",
+        "FaultConfig",
+        "RlConfig",
+        "TechniqueConfig",
+        "WorkloadSpec",
+        "CellSpec",
+    }
+)
+
+#: Field sets at the time each class was first content-hashed.  Fields
+#: beyond these must appear in ``_SCHEMA_EVOLUTION_DEFAULTS``.
+SCHEMA_BASELINE: dict[str, frozenset[str]] = {
+    "NocConfig": frozenset(
+        {
+            "width",
+            "height",
+            "num_vcs",
+            "router_buffer_depth",
+            "channel_buffer_depth",
+            "channel_links",
+            "flits_per_packet",
+            "flit_bits",
+            "pipeline_stages",
+            "link_latency",
+            "subnetworks",
+            "routing",
+        }
+    ),
+    "FaultConfig": frozenset(
+        {
+            "base_bit_error_rate",
+            "error_rate_temp_coeff",
+            "reference_temperature",
+            "relaxed_error_factor",
+            "multi_bit_fraction",
+            "burst_extra_bits_mean",
+            "supply_voltage",
+            "nominal_vth",
+            "vth_failure_fraction",
+            "ambient_temperature",
+            "thermal_resistance",
+            "thermal_time_constant",
+            "thermal_coupling",
+        }
+    ),
+    "RlConfig": frozenset(
+        {
+            "learning_rate",
+            "discount",
+            "epsilon",
+            "time_step",
+            "num_bins",
+            "initial_mode",
+            "max_table_entries",
+        }
+    ),
+    "TechniqueConfig": frozenset(
+        {
+            "name",
+            "noc",
+            "policy",
+            "static_ecc",
+            "uses_mfac",
+            "uses_bypass",
+            "power_gating",
+            "wakeup_latency",
+            "idle_gate_threshold",
+            "rl",
+        }
+    ),
+    "WorkloadSpec": frozenset(
+        {
+            "kind",
+            "name",
+            "duration",
+            "packet_size",
+            "injection_rate",
+            "hotspots",
+        }
+    ),
+    "CellSpec": frozenset(
+        {
+            "technique",
+            "workload",
+            "seed",
+            "faults",
+            "pretrain_cycles",
+            "max_cycles",
+        }
+    ),
+}
+
+
+def _normalize(value: Any) -> Any:
+    """Fold tuple/list shape differences for default comparison."""
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+def check_contracts(facts: list[FileFacts]) -> list[Violation]:
+    """NOC401–NOC403 over the analyzed file set."""
+    declared: dict[str, tuple[DataclassFact, str]] = {}
+    registry: list[RegistryEntryFact] = []
+    registry_files: list[FileFacts] = []
+    for file_facts in facts:
+        for dc in file_facts.dataclasses:
+            declared.setdefault(dc.name, (dc, file_facts.path))
+        if file_facts.has_registry:
+            registry_files.append(file_facts)
+            registry.extend(file_facts.registry)
+
+    if not registry_files:
+        return []  # no contract to check in this file set
+
+    registered: dict[str, dict[str, RegistryEntryFact]] = {}
+    for entry in registry:
+        registered.setdefault(entry.cls, {})[entry.field_name] = entry
+
+    violations: list[Violation] = []
+    registry_path = registry_files[0].path
+
+    # NOC403: dead registry entries.
+    for entry in registry:
+        dc_entry = declared.get(entry.cls)
+        if dc_entry is None:
+            violations.append(Violation(
+                "NOC403", registry_path, entry.lineno, entry.col,
+                RULES["NOC403"] + f" (no dataclass named {entry.cls})",
+                entry.context,
+            ))
+            continue
+        dc, _ = dc_entry
+        if entry.field_name not in {f.name for f in dc.fields}:
+            violations.append(Violation(
+                "NOC403", registry_path, entry.lineno, entry.col,
+                RULES["NOC403"]
+                + f" ({entry.cls} has no field {entry.field_name!r})",
+                entry.context,
+            ))
+
+    # NOC401/NOC402 per hashed dataclass found in the file set.
+    for name, (dc, path) in sorted(declared.items()):
+        if name not in HASHED_DATACLASSES:
+            continue
+        baseline = SCHEMA_BASELINE.get(name, frozenset())
+        class_registry = registered.get(name, {})
+        for fld in dc.fields:
+            if fld.name in baseline:
+                continue
+            entry = class_registry.get(fld.name)
+            if entry is None:
+                violations.append(Violation(
+                    "NOC401", path, fld.lineno, fld.col,
+                    RULES["NOC401"]
+                    + f" ({name}.{fld.name}: register it in "
+                    "_SCHEMA_EVOLUTION_DEFAULTS with its default, or it "
+                    "silently changes every existing cache key)",
+                    fld.context,
+                ))
+                continue
+            violations.extend(_check_default_agreement(name, fld, entry, path))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations
+
+
+def _check_default_agreement(
+    cls_name: str,
+    fld: FieldFact,
+    entry: RegistryEntryFact,
+    path: str,
+) -> list[Violation]:
+    """NOC402: evolution default must equal the declared field default."""
+    if not fld.has_default:
+        return [Violation(
+            "NOC402", path, fld.lineno, fld.col,
+            RULES["NOC402"]
+            + f" ({cls_name}.{fld.name} is registered but has no "
+            "dataclass default to omit)",
+            fld.context,
+        )]
+    if fld.default == NON_LITERAL or entry.value == NON_LITERAL:
+        return []  # not statically comparable; runtime tests own this case
+    if _normalize(fld.default) != _normalize(entry.value):
+        return [Violation(
+            "NOC402", path, fld.lineno, fld.col,
+            RULES["NOC402"]
+            + f" ({cls_name}.{fld.name}: dataclass default "
+            f"{fld.default!r} vs registry {entry.value!r})",
+            fld.context,
+        )]
+    return []

@@ -1,0 +1,557 @@
+"""Intra-file dataflow passes: RNG-stream provenance and telemetry guards.
+
+Two flow-sensitive checks that a plain per-node visitor cannot express:
+
+* **NOC110/NOC111 — RNG provenance.**  Seeded ``np.random.Generator``
+  objects are tracked from their creation site through assignments,
+  ``self`` attributes, and call arguments.  Handing one stream to two
+  distinct callees couples their draw sequences (NOC110); creating a
+  generator with no seed pulls OS entropy into the simulation (NOC111).
+* **NOC404 — telemetry guards.**  Inside the simulator cycle domain the
+  telemetry hub is optional by contract (``self._tel`` /
+  ``self.telemetry`` may be None so disabled runs pay zero overhead).
+  Every instrument call must be dominated by a None-guard: ``if x is not
+  None:``, truthiness, an early return, ``assert x is not None``, or a
+  short-circuit ``and``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field as dc_field
+from typing import Iterable
+
+from repro.analysis.lint.rules import (
+    RULES,
+    SIM_PACKAGES,
+    Violation,
+    in_packages,
+    source_line,
+)
+
+# --- RNG provenance (NOC110 / NOC111) ----------------------------------------
+
+#: Producers that *require* explicit seed material; calling them with no
+#: arguments falls back to OS entropy.
+_ENTROPY_IF_UNSEEDED = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.SeedSequence",
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+        "numpy.random.MT19937",
+    }
+)
+
+#: Blessed stream derivation helpers (always seeded by construction).
+_BLESSED_PRODUCERS = frozenset(
+    {"repro.utils.rng.make_rng", "repro.utils.rng.RngFactory"}
+)
+
+
+@dataclass
+class _Stream:
+    """One live Generator object and the callees it has been handed to."""
+
+    name: str
+    lineno: int
+    consumers: set[str] = dc_field(default_factory=set)
+
+
+class _AliasCollector(ast.NodeVisitor):
+    """Import-alias map (``np`` -> ``numpy``), shared by both passes."""
+
+    def __init__(self) -> None:
+        self.aliases: dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname:
+                self.aliases[alias.asname] = alias.name
+            else:
+                head = alias.name.partition(".")[0]
+                self.aliases[head] = head
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self.aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+
+
+def _dotted(node: ast.expr) -> str | None:
+    chain: list[str] = []
+    while isinstance(node, ast.Attribute):
+        chain.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        chain.append(node.id)
+        return ".".join(reversed(chain))
+    return None
+
+
+class _RngProvenance(ast.NodeVisitor):
+    """Track seeded streams through bindings and call-argument handoffs."""
+
+    def __init__(self, path: str, lines: list[str], aliases: dict[str, str]) -> None:
+        self.path = path
+        self.lines = lines
+        self.aliases = aliases
+        self.violations: list[Violation] = []
+        # ("self", attr) streams live for the whole class; ("local", name)
+        # streams live for the innermost function scope.
+        self.attr_scopes: list[dict[str, _Stream]] = []
+        self.local_scopes: list[dict[str, _Stream]] = [{}]
+        self._seed_checked: set[int] = set()
+
+    def _report(self, rule: str, node: ast.AST, detail: str) -> None:
+        lineno = getattr(node, "lineno", 1)
+        self.violations.append(Violation(
+            rule, self.path, lineno, getattr(node, "col_offset", 0),
+            RULES[rule] + f" ({detail})",
+            source_line(self.lines, lineno),
+        ))
+
+    def _resolve(self, name: str) -> str:
+        head, _, rest = name.partition(".")
+        origin = self.aliases.get(head)
+        if origin is None:
+            return name
+        return f"{origin}.{rest}" if rest else origin
+
+    # --- stream lookup --------------------------------------------------------
+
+    def _lookup(self, node: ast.expr) -> _Stream | None:
+        if isinstance(node, ast.Name):
+            for scope in reversed(self.local_scopes):
+                if node.id in scope:
+                    return scope[node.id]
+            return None
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and self.attr_scopes
+        ):
+            return self.attr_scopes[-1].get(node.attr)
+        return None
+
+    def _bind(self, target: ast.expr, stream: _Stream | None) -> None:
+        if isinstance(target, ast.Name):
+            scope = self.local_scopes[-1]
+            if stream is None:
+                scope.pop(target.id, None)
+            else:
+                scope[target.id] = stream
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and self.attr_scopes
+        ):
+            if stream is None:
+                self.attr_scopes[-1].pop(target.attr, None)
+            else:
+                self.attr_scopes[-1][target.attr] = stream
+
+    # --- producers ------------------------------------------------------------
+
+    def _producer(self, node: ast.expr, target_name: str) -> _Stream | None:
+        """A new stream if *node* constructs a seeded Generator."""
+        if not isinstance(node, ast.Call):
+            return None
+        name = _dotted(node.func)
+        if name is not None:
+            resolved = self._resolve(name)
+            if resolved in _ENTROPY_IF_UNSEEDED:
+                self._check_seeded(node, resolved)
+                return _Stream(target_name, node.lineno)
+            if resolved in _BLESSED_PRODUCERS or resolved == "numpy.random.Generator":
+                return _Stream(target_name, node.lineno)
+        # factory.stream("name") — the blessed derivation idiom.
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "stream":
+            return _Stream(target_name, node.lineno)
+        return None
+
+    def _check_seeded(self, node: ast.Call, resolved: str) -> None:
+        if id(node) in self._seed_checked:
+            return  # a binding visit and the call visit both probe producers
+        self._seed_checked.add(id(node))
+        seed_args = [a for a in node.args if not isinstance(a, ast.Starred)]
+        seed_kw = [k for k in node.keywords if k.arg is not None]
+        if node.args and isinstance(node.args[0], ast.Starred):
+            return  # *args: cannot tell statically
+        unseeded = not seed_args and not seed_kw
+        none_seed = (
+            len(seed_args) == 1
+            and not seed_kw
+            and isinstance(seed_args[0], ast.Constant)
+            and seed_args[0].value is None
+        )
+        if unseeded or none_seed:
+            self._report("NOC111", node, f"{resolved}() with no seed")
+
+    # --- statements -----------------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if len(node.targets) == 1 and isinstance(
+            node.targets[0], (ast.Name, ast.Attribute)
+        ):
+            target = node.targets[0]
+            label = _dotted(target) or "<stream>"
+            produced = self._producer(node.value, label)
+            if produced is not None:
+                self._bind(target, produced)
+            else:
+                existing = self._lookup(node.value)
+                if existing is not None:
+                    self._bind(target, existing)  # alias: same object
+                elif self._lookup(target) is not None:
+                    self._bind(target, None)  # rebound to a non-stream
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None and isinstance(
+            node.target, (ast.Name, ast.Attribute)
+        ):
+            label = _dotted(node.target) or "<stream>"
+            produced = self._producer(node.value, label)
+            if produced is not None:
+                self._bind(node.target, produced)
+        self.generic_visit(node)
+
+    # --- handoffs -------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = _dotted(node.func)
+        is_producer = self._producer(node, "<tmp>") is not None
+        if callee is not None and not is_producer:
+            resolved = self._resolve(callee)
+            args: Iterable[ast.expr] = list(node.args) + [
+                k.value for k in node.keywords
+            ]
+            for arg in args:
+                stream = self._lookup(arg)
+                if stream is None:
+                    continue
+                if resolved not in stream.consumers and stream.consumers:
+                    first = sorted(stream.consumers)[0]
+                    self._report(
+                        "NOC110", node,
+                        f"stream '{stream.name}' already feeds {first}; "
+                        f"derive a named child stream for {resolved}",
+                    )
+                stream.consumers.add(resolved)
+        self.generic_visit(node)
+
+    # --- scopes ---------------------------------------------------------------
+
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        self.local_scopes.append({})
+        self.generic_visit(node)
+        self.local_scopes.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.attr_scopes.append({})
+        self.generic_visit(node)
+        self.attr_scopes.pop()
+
+
+def check_rng_provenance(
+    tree: ast.AST, path: str, lines: list[str]
+) -> list[Violation]:
+    collector = _AliasCollector()
+    collector.visit(tree)
+    tracker = _RngProvenance(path, lines, collector.aliases)
+    tracker.visit(tree)
+    return tracker.violations
+
+
+# --- telemetry guards (NOC404) -----------------------------------------------
+
+#: ``self.<attr>`` receivers treated as the optional telemetry hub.
+_WATCHED_ATTRS = frozenset({"_tel", "telemetry"})
+
+#: A guard key: ("self", attr) or ("local", name).
+_Key = tuple[str, str]
+
+
+def _terminates(body: list[ast.stmt]) -> bool:
+    """Whether falling off *body* is impossible (ends the enclosing path)."""
+    if not body:
+        return False
+    last = body[-1]
+    if isinstance(last, (ast.Return, ast.Raise, ast.Continue, ast.Break)):
+        return True
+    if isinstance(last, ast.If):
+        return _terminates(last.body) and _terminates(last.orelse)
+    return False
+
+
+class _GuardState:
+    """Which watched receivers are known non-None on the current path."""
+
+    def __init__(self) -> None:
+        self.guarded: set[_Key] = set()
+        self.locals: set[str] = set()  # local aliases of the hub
+
+    def copy(self) -> "_GuardState":
+        clone = _GuardState()
+        clone.guarded = set(self.guarded)
+        clone.locals = set(self.locals)
+        return clone
+
+
+class _TelemetryGuards:
+    """Flow-sensitive walk of one function body for NOC404."""
+
+    def __init__(self, path: str, lines: list[str]) -> None:
+        self.path = path
+        self.lines = lines
+        self.violations: list[Violation] = []
+
+    def _report(self, node: ast.AST, receiver: str) -> None:
+        lineno = getattr(node, "lineno", 1)
+        self.violations.append(Violation(
+            "NOC404", self.path, lineno, getattr(node, "col_offset", 0),
+            RULES["NOC404"] + f" (guard with `if {receiver} is not None:`)",
+            source_line(self.lines, lineno),
+        ))
+
+    # --- keys -----------------------------------------------------------------
+
+    @staticmethod
+    def _key(node: ast.expr, state: _GuardState) -> _Key | None:
+        if isinstance(node, ast.Name) and node.id in state.locals:
+            return ("local", node.id)
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in _WATCHED_ATTRS
+        ):
+            return ("self", node.attr)
+        return None
+
+    @staticmethod
+    def _render(key: _Key) -> str:
+        return f"self.{key[1]}" if key[0] == "self" else key[1]
+
+    # --- tests ----------------------------------------------------------------
+
+    def _eval_test(
+        self, test: ast.expr, state: _GuardState
+    ) -> tuple[set[_Key], set[_Key]]:
+        """(non-None when true, non-None when false) for *test*."""
+        key = self._key(test, state)
+        if key is not None:
+            return {key}, set()
+        if (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None
+        ):
+            key = self._key(test.left, state)
+            if key is not None:
+                if isinstance(test.ops[0], ast.IsNot):
+                    return {key}, set()
+                if isinstance(test.ops[0], ast.Is):
+                    return set(), {key}
+            return set(), set()
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            true_g, false_g = self._eval_test(test.operand, state)
+            return false_g, true_g
+        if isinstance(test, ast.BoolOp):
+            branch = state.copy()
+            true_all: set[_Key] = set()
+            false_all: set[_Key] = set()
+            for value in test.values:
+                # left-to-right: earlier conjuncts guard later ones;
+                # _eval_test scans non-guard subexpressions itself
+                true_g, false_g = self._eval_test(value, branch)
+                if isinstance(test.op, ast.And):
+                    branch.guarded |= true_g
+                    true_all |= true_g
+                else:
+                    false_all |= false_g
+            if isinstance(test.op, ast.And):
+                return true_all, set()
+            return set(), false_all
+        self._scan(test, state)
+        return set(), set()
+
+    # --- expressions ----------------------------------------------------------
+
+    def _scan(self, expr: ast.expr | None, state: _GuardState) -> None:
+        """Flag unguarded instrument calls anywhere inside *expr*."""
+        if expr is None:
+            return
+        if isinstance(expr, ast.BoolOp):
+            self._eval_test(expr, state)
+            return
+        if isinstance(expr, ast.IfExp):
+            true_g, false_g = self._eval_test(expr.test, state)
+            body_state = state.copy()
+            body_state.guarded |= true_g
+            self._scan(expr.body, body_state)
+            else_state = state.copy()
+            else_state.guarded |= false_g
+            self._scan(expr.orelse, else_state)
+            return
+        if isinstance(expr, ast.Call):
+            if isinstance(expr.func, ast.Attribute):
+                key = self._key(expr.func.value, state)
+                if key is not None and key not in state.guarded:
+                    self._report(expr, self._render(key))
+            self._scan(expr.func, state)
+            for arg in expr.args:
+                self._scan(arg, state)
+            for kw in expr.keywords:
+                self._scan(kw.value, state)
+            return
+        if isinstance(expr, (ast.Lambda,)):
+            inner = state.copy()
+            self._scan(expr.body, inner)
+            return
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self._scan(child, state)
+
+    # --- statements -----------------------------------------------------------
+
+    def visit_body(self, body: list[ast.stmt], state: _GuardState) -> None:
+        for stmt in body:
+            self._visit_stmt(stmt, state)
+
+    def _visit_stmt(self, stmt: ast.stmt, state: _GuardState) -> None:
+        if isinstance(stmt, ast.If):
+            true_g, false_g = self._eval_test(stmt.test, state)
+            body_state = state.copy()
+            body_state.guarded |= true_g
+            self.visit_body(stmt.body, body_state)
+            else_state = state.copy()
+            else_state.guarded |= false_g
+            self.visit_body(stmt.orelse, else_state)
+            # early-exit guards dominate the rest of the block
+            if _terminates(stmt.body):
+                state.guarded |= false_g
+            if stmt.orelse and _terminates(stmt.orelse):
+                state.guarded |= true_g
+        elif isinstance(stmt, ast.Assert):
+            true_g, _ = self._eval_test(stmt.test, state)
+            state.guarded |= true_g
+            if stmt.msg is not None:
+                self._scan(stmt.msg, state)
+        elif isinstance(stmt, ast.Assign):
+            self._scan(stmt.value, state)
+            if len(stmt.targets) == 1:
+                self._track_binding(stmt.targets[0], stmt.value, state)
+        elif isinstance(stmt, ast.AnnAssign):
+            self._scan(stmt.value, state)
+            if stmt.value is not None:
+                self._track_binding(stmt.target, stmt.value, state)
+        elif isinstance(stmt, ast.AugAssign):
+            self._scan(stmt.value, state)
+        elif isinstance(stmt, (ast.Return, ast.Expr)):
+            self._scan(stmt.value, state)
+        elif isinstance(stmt, ast.Raise):
+            self._scan(stmt.exc, state)
+            self._scan(stmt.cause, state)
+        elif isinstance(stmt, ast.Delete):
+            pass
+        elif isinstance(stmt, (ast.While,)):
+            true_g, _ = self._eval_test(stmt.test, state)
+            body_state = state.copy()
+            body_state.guarded |= true_g
+            self.visit_body(stmt.body, body_state)
+            self.visit_body(stmt.orelse, state.copy())
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._scan(stmt.iter, state)
+            self.visit_body(stmt.body, state.copy())
+            self.visit_body(stmt.orelse, state.copy())
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._scan(item.context_expr, state)
+            self.visit_body(stmt.body, state)
+        elif isinstance(stmt, ast.Try):
+            self.visit_body(stmt.body, state.copy())
+            for handler in stmt.handlers:
+                self.visit_body(handler.body, state.copy())
+            self.visit_body(stmt.orelse, state.copy())
+            self.visit_body(stmt.finalbody, state.copy())
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # nested defs run later but capture the dominating guards
+            self.visit_body(stmt.body, state.copy())
+        elif isinstance(stmt, ast.ClassDef):
+            self.visit_body(stmt.body, _GuardState())
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._scan(child, state)
+
+    def _track_binding(
+        self, target: ast.expr, value: ast.expr, state: _GuardState
+    ) -> None:
+        value_key = self._key(value, state)
+        if isinstance(target, ast.Name):
+            if value_key is not None:
+                # local alias of the hub: tel = self._tel
+                state.locals.add(target.id)
+                key = ("local", target.id)
+                if value_key in state.guarded:
+                    state.guarded.add(key)
+                else:
+                    state.guarded.discard(key)
+            elif target.id in state.locals:
+                state.locals.discard(target.id)
+                state.guarded.discard(("local", target.id))
+        else:
+            target_key = self._key(target, state)
+            if target_key is None:
+                return
+            if isinstance(value, ast.Constant) and value.value is None:
+                state.guarded.discard(target_key)
+            elif value_key is not None:
+                if value_key in state.guarded:
+                    state.guarded.add(target_key)
+                else:
+                    state.guarded.discard(target_key)
+            elif isinstance(value, ast.IfExp):
+                state.guarded.discard(target_key)
+            else:
+                # assigned a freshly constructed hub: non-None by construction
+                state.guarded.add(target_key)
+
+
+def check_telemetry_guards(
+    tree: ast.AST, path: str, module: str, lines: list[str]
+) -> list[Violation]:
+    """NOC404 over every function in a sim-package module."""
+    if not in_packages(module, SIM_PACKAGES) or in_packages(
+        module, ("repro.telemetry",)
+    ):
+        return []
+    checker = _TelemetryGuards(path, lines)
+
+    def walk(stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                checker.visit_body(stmt.body, _GuardState())
+            elif isinstance(stmt, ast.ClassDef):
+                walk(stmt.body)
+            elif isinstance(stmt, ast.If):
+                walk(stmt.body)
+                walk(stmt.orelse)
+
+    walk(getattr(tree, "body", []))
+    checker.violations.sort(key=lambda v: (v.line, v.col))
+    return checker.violations

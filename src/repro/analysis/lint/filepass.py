@@ -1,0 +1,681 @@
+"""Per-file pass: AST rules plus fact extraction for the project passes.
+
+One parse per file feeds three consumers:
+
+* the classic rule visitor (:class:`FileLinter`) — NOC10x/20x/30x,
+* the intra-file dataflow passes (:mod:`repro.analysis.lint.dataflow`) —
+  RNG-stream provenance (NOC110/111) and telemetry guards (NOC404),
+* :class:`FileFacts` — imports, dataclass shapes, and the schema-evolution
+  registry literal, consumed by the whole-program passes
+  (:mod:`repro.analysis.lint.project`, :mod:`repro.analysis.lint.contracts`).
+
+Facts are plain JSON-serializable data so the incremental cache can store
+them and warm runs can skip parsing entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.lint import dataflow
+from repro.analysis.lint.rules import (
+    ORCHESTRATION_PACKAGES,
+    RULES,
+    SIM_PACKAGES,
+    Directives,
+    Violation,
+    apply_noqa,
+    in_packages,
+    module_name,
+    scan_noqa,
+    source_line,
+)
+
+#: Generator *constructors* are how deterministic streams are injected;
+#: everything else on random/np.random is hidden process-global state.
+_RNG_CONSTRUCTORS = frozenset(
+    {"default_rng", "SeedSequence", "Generator", "BitGenerator",
+     "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937"}
+)
+
+#: Calls that read the wall clock or the OS entropy pool.  Monotonic
+#: timers (time.monotonic, time.perf_counter) stay legal: they may only
+#: feed diagnostics like runtime_seconds, never simulated state.
+_CLOCK_ENTROPY = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+#: Wall-clock stalls and timer reads banned *inside the simulator*
+#: (NOC105): simulated time is cycle-driven, so sleeping can only hide an
+#: orchestration concern, and even monotonic reads belong to the
+#: harness/backoff layer (diagnostic uses carry a reasoned noqa).
+_SIM_TIMER_CALLS = frozenset(
+    {
+        "time.sleep",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+    }
+)
+
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "deque", "defaultdict",
+     "Counter", "OrderedDict"}
+)
+
+#: Name of the schema-evolution registry in ``repro.config``.
+SCHEMA_REGISTRY_NAME = "_SCHEMA_EVOLUTION_DEFAULTS"
+
+#: Sentinel for defaults the checker cannot reduce to a literal.
+NON_LITERAL = "\x00non-literal"
+
+
+# --- facts -------------------------------------------------------------------
+
+
+@dataclass
+class ImportFact:
+    """One import edge out of a module."""
+
+    module: str
+    lineno: int
+    col: int
+    toplevel: bool
+    type_checking: bool
+    context: str = ""
+
+
+@dataclass
+class FieldFact:
+    """One dataclass field declaration."""
+
+    name: str
+    lineno: int
+    col: int
+    has_default: bool
+    default: Any = NON_LITERAL  # literal value when statically evaluable
+    context: str = ""
+
+
+@dataclass
+class DataclassFact:
+    """One ``@dataclass`` declaration and its field shape."""
+
+    name: str
+    lineno: int
+    col: int
+    frozen: bool
+    fields: list[FieldFact] = field(default_factory=list)
+
+
+@dataclass
+class RegistryEntryFact:
+    """One ``_SCHEMA_EVOLUTION_DEFAULTS[cls][field]`` entry."""
+
+    cls: str
+    field_name: str
+    lineno: int
+    col: int
+    value: Any = NON_LITERAL
+    context: str = ""
+
+
+@dataclass
+class FileFacts:
+    """Everything the whole-program passes need to know about one file."""
+
+    path: str
+    module: str
+    imports: list[ImportFact] = field(default_factory=list)
+    dataclasses: list[DataclassFact] = field(default_factory=list)
+    registry: list[RegistryEntryFact] = field(default_factory=list)
+    has_registry: bool = False
+    noqa: dict[str, list[Any]] = field(default_factory=dict)
+    scopes: dict[str, list[int]] = field(default_factory=dict)
+
+    def directives(self) -> Directives:
+        return {
+            int(line): (list(entry[0]), entry[1], int(entry[2]))
+            for line, entry in self.noqa.items()
+        }
+
+    def scope_ranges(self) -> dict[int, range]:
+        return {
+            int(line): range(span[0], span[1] + 1)
+            for line, span in self.scopes.items()
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FileFacts":
+        facts = cls(path=str(data["path"]), module=str(data["module"]))
+        facts.imports = [ImportFact(**i) for i in data.get("imports", [])]
+        facts.dataclasses = [
+            DataclassFact(
+                name=d["name"], lineno=d["lineno"], col=d["col"],
+                frozen=d["frozen"],
+                fields=[FieldFact(**f) for f in d.get("fields", [])],
+            )
+            for d in data.get("dataclasses", [])
+        ]
+        facts.registry = [
+            RegistryEntryFact(**r) for r in data.get("registry", [])
+        ]
+        facts.has_registry = bool(data.get("has_registry", False))
+        facts.noqa = dict(data.get("noqa", {}))
+        facts.scopes = dict(data.get("scopes", {}))
+        return facts
+
+
+@dataclass
+class FileAnalysis:
+    """Result of analyzing one file: kept violations, counts, and facts."""
+
+    facts: FileFacts
+    violations: list[Violation] = field(default_factory=list)
+    suppressed: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "facts": self.facts.to_dict(),
+            "violations": [v.to_dict() for v in self.violations],
+            "suppressed": self.suppressed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FileAnalysis":
+        return cls(
+            facts=FileFacts.from_dict(data["facts"]),
+            violations=[Violation.from_dict(v) for v in data["violations"]],
+            suppressed=int(data["suppressed"]),
+        )
+
+
+# --- AST helpers -------------------------------------------------------------
+
+
+def dotted(node: ast.expr) -> str | None:
+    """`a.b.c` attribute chain as a dotted string, or None."""
+    chain: list[str] = []
+    while isinstance(node, ast.Attribute):
+        chain.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        chain.append(node.id)
+        return ".".join(reversed(chain))
+    return None
+
+
+def _is_float_const(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Whether *node* is statically, structurally a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _is_set_annotation(node: ast.expr) -> bool:
+    target = node.value if isinstance(node, ast.Subscript) else node
+    if isinstance(target, ast.Name):
+        return target.id in ("set", "frozenset", "Set", "FrozenSet", "AbstractSet")
+    if isinstance(target, ast.Attribute):
+        return target.attr in ("Set", "FrozenSet", "AbstractSet")
+    return False
+
+
+def _is_type_checking_test(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id == "TYPE_CHECKING"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "TYPE_CHECKING"
+    return False
+
+
+def _literal(node: ast.expr) -> Any:
+    """Evaluate *node* as a literal, or the NON_LITERAL sentinel."""
+    try:
+        value = ast.literal_eval(node)
+    except (ValueError, SyntaxError, TypeError, MemoryError):
+        return NON_LITERAL
+    if isinstance(value, (list, tuple, set, frozenset)):
+        value = list(value)
+    if isinstance(value, (str, int, float, bool, list, dict)) or value is None:
+        return value
+    return NON_LITERAL
+
+
+class _SetAttributeCollector(ast.NodeVisitor):
+    """First pass over one class: which `self.<name>` attributes are sets?"""
+
+    def __init__(self) -> None:
+        self.set_attrs: list[str] = []
+
+    def _maybe_add(self, target: ast.expr) -> None:
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and target.attr not in self.set_attrs
+        ):
+            self.set_attrs.append(target.attr)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if _is_set_annotation(node.annotation):
+            self._maybe_add(node.target)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if node.value is not None and _is_set_expr(node.value):
+            for target in node.targets:
+                self._maybe_add(target)
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass  # nested classes collect their own attributes
+
+
+# --- the per-file rule visitor ----------------------------------------------
+
+
+class FileLinter(ast.NodeVisitor):
+    """All per-file rules over one parsed file, collecting facts as it goes."""
+
+    def __init__(self, path: str, module: str, lines: list[str]) -> None:
+        self.path = path
+        self.module = module
+        self.lines = lines
+        self.violations: list[Violation] = []
+        self.facts = FileFacts(path=path, module=module)
+        # alias -> canonical dotted module ("np" -> "numpy"); from-imports
+        # map the bound name to its fully qualified origin.
+        self.aliases: dict[str, str] = {}
+        self.in_sim_package = in_packages(module, SIM_PACKAGES)
+        self.is_spec_module = module == "repro.exec.spec"
+        self.class_set_attrs: list[dict[str, bool]] = []
+        # Module scope is a real scope: module-level set bindings must be
+        # visible to comprehensions and class bodies (NOC103 blind spot).
+        self.local_sets: list[dict[str, bool]] = [{}]
+        self._func_depth = 0
+        self._type_checking_depth = 0
+
+    # --- bookkeeping ----------------------------------------------------------
+
+    def report(self, rule: str, node: ast.AST, detail: str = "") -> None:
+        message = RULES[rule] + (f" ({detail})" if detail else "")
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        self.violations.append(Violation(
+            rule, self.path, lineno, col, message,
+            source_line(self.lines, lineno),
+        ))
+
+    def _resolve(self, name: str) -> str:
+        head, _, rest = name.partition(".")
+        origin = self.aliases.get(head)
+        if origin is None:
+            return name
+        return f"{origin}.{rest}" if rest else origin
+
+    def _context(self, node: ast.AST) -> str:
+        return source_line(self.lines, getattr(node, "lineno", 1))
+
+    # --- imports (alias tracking + NOC201 + import facts) ---------------------
+
+    def _record_import(self, imported: str, node: ast.AST) -> None:
+        self.facts.imports.append(ImportFact(
+            module=imported,
+            lineno=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            toplevel=self._func_depth == 0,
+            type_checking=self._type_checking_depth > 0,
+            context=self._context(node),
+        ))
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.partition(".")[0]] = (
+                alias.name if alias.asname else alias.name.partition(".")[0]
+            )
+            self._record_import(alias.name, node)
+            self._check_layering(alias.name, node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self.aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+                self._record_import(f"{node.module}.{alias.name}", node)
+            self._check_layering(node.module, node)
+        self.generic_visit(node)
+
+    def _check_layering(self, imported: str, node: ast.AST) -> None:
+        if not self.in_sim_package:
+            return
+        for banned in ORCHESTRATION_PACKAGES:
+            if imported == banned or imported.startswith(banned + "."):
+                self.report("NOC201", node, f"{self.module} imports {imported}")
+
+    def visit_If(self, node: ast.If) -> None:
+        if _is_type_checking_test(node.test):
+            self._type_checking_depth += 1
+            for stmt in node.body:
+                self.visit(stmt)
+            self._type_checking_depth -= 1
+            for stmt in node.orelse:
+                self.visit(stmt)
+            return
+        self.generic_visit(node)
+
+    # --- calls (NOC101 + NOC102 + NOC105 + set.pop half of NOC103) ------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted(node.func)
+        if name is not None:
+            resolved = self._resolve(name)
+            if self._is_ambient_rng(resolved):
+                self.report("NOC101", node, resolved)
+            elif resolved in _CLOCK_ENTROPY or resolved.startswith("secrets."):
+                self.report("NOC102", node, resolved)
+            elif self.in_sim_package and resolved in _SIM_TIMER_CALLS:
+                self.report("NOC105", node, resolved)
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "pop"
+            and not node.args
+            and not node.keywords
+            and self._known_set(node.func.value)
+        ):
+            self.report(
+                "NOC103", node,
+                "set.pop() removes an arbitrary element; pop from sorted() order",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_ambient_rng(resolved: str) -> bool:
+        for prefix in ("random.", "numpy.random."):
+            if resolved.startswith(prefix):
+                return resolved.rsplit(".", 1)[-1] not in _RNG_CONSTRUCTORS
+        return False
+
+    # --- set iteration (NOC103) ------------------------------------------------
+
+    def _known_set(self, node: ast.expr) -> bool:
+        if _is_set_expr(node):
+            return True
+        if isinstance(node, ast.Name):
+            return any(node.id in scope for scope in reversed(self.local_sets))
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and self.class_set_attrs
+        ):
+            return node.attr in self.class_set_attrs[-1]
+        return False
+
+    def _check_iteration(self, iter_node: ast.expr, where: ast.AST) -> None:
+        if self._known_set(iter_node):
+            self.report("NOC103", where, "wrap in sorted() for a stable order")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter, node)
+        self.generic_visit(node)
+
+    visit_AsyncFor = visit_For
+
+    def _visit_comprehension(self, node: ast.expr) -> None:
+        for gen in getattr(node, "generators", []):
+            self._check_iteration(gen.iter, node)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if _is_set_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.local_sets[-1][target.id] = True
+        self._check_registry(node.targets, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if (
+            isinstance(node.target, ast.Name)
+            and (_is_set_annotation(node.annotation)
+                 or (node.value is not None and _is_set_expr(node.value)))
+        ):
+            self.local_sets[-1][node.target.id] = True
+        if node.value is not None:
+            self._check_registry([node.target], node.value)
+        self.generic_visit(node)
+
+    # --- scopes ----------------------------------------------------------------
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self._record_scope(node)
+        self.local_sets.append({})
+        self._func_depth += 1
+        self.generic_visit(node)
+        self._func_depth -= 1
+        self.local_sets.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def _record_scope(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef
+    ) -> None:
+        end = getattr(node, "end_lineno", None)
+        if end is not None and end > node.lineno:
+            self.facts.scopes[str(node.lineno)] = [node.lineno + 1, end]
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        collector = _SetAttributeCollector()
+        for stmt in node.body:
+            collector.visit(stmt)
+        self.class_set_attrs.append(dict.fromkeys(collector.set_attrs, True))
+        self._record_scope(node)
+        self._check_spec_frozen(node)
+        self._collect_dataclass(node)
+        self.generic_visit(node)
+        self.class_set_attrs.pop()
+
+    # --- mutable defaults (NOC104) ---------------------------------------------
+
+    def _check_defaults(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        args = node.args
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                self.report("NOC104", default)
+            elif (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CONSTRUCTORS
+            ):
+                self.report("NOC104", default)
+
+    # --- frozen specs (NOC202) -------------------------------------------------
+
+    def _dataclass_decorator(self, node: ast.ClassDef) -> tuple[bool, bool]:
+        """(is a dataclass, is frozen=True) from the decorator list."""
+        for decorator in node.decorator_list:
+            name = dotted(
+                decorator.func if isinstance(decorator, ast.Call) else decorator
+            )
+            if name is None or name.rsplit(".", 1)[-1] != "dataclass":
+                continue
+            frozen = isinstance(decorator, ast.Call) and any(
+                kw.arg == "frozen"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in decorator.keywords
+            )
+            return True, frozen
+        return False, False
+
+    def _check_spec_frozen(self, node: ast.ClassDef) -> None:
+        if not self.is_spec_module:
+            return
+        is_dc, frozen = self._dataclass_decorator(node)
+        if is_dc and not frozen:
+            self.report("NOC202", node, f"@dataclass(frozen=True) on {node.name}")
+
+    # --- dataclass + registry facts (for the contract pass) --------------------
+
+    def _collect_dataclass(self, node: ast.ClassDef) -> None:
+        is_dc, frozen = self._dataclass_decorator(node)
+        if not is_dc:
+            return
+        fact = DataclassFact(
+            name=node.name, lineno=node.lineno, col=node.col_offset,
+            frozen=frozen,
+        )
+        for stmt in node.body:
+            if not isinstance(stmt, ast.AnnAssign):
+                continue
+            if not isinstance(stmt.target, ast.Name):
+                continue
+            annotation = dotted(stmt.annotation) or ""
+            base = annotation
+            if isinstance(stmt.annotation, ast.Subscript):
+                base = dotted(stmt.annotation.value) or ""
+            if base.rsplit(".", 1)[-1] == "ClassVar":
+                continue
+            has_default = stmt.value is not None
+            default: Any = NON_LITERAL
+            if has_default and stmt.value is not None:
+                default = _literal(stmt.value)
+            fact.fields.append(FieldFact(
+                name=stmt.target.id,
+                lineno=stmt.lineno,
+                col=stmt.col_offset,
+                has_default=has_default,
+                default=default,
+                context=self._context(stmt),
+            ))
+        self.facts.dataclasses.append(fact)
+
+    def _check_registry(
+        self, targets: list[ast.expr], value: ast.expr
+    ) -> None:
+        """Collect ``_SCHEMA_EVOLUTION_DEFAULTS`` entries as facts."""
+        if self._func_depth:
+            return
+        named = any(
+            isinstance(t, ast.Name) and t.id == SCHEMA_REGISTRY_NAME
+            for t in targets
+        )
+        if not named or not isinstance(value, ast.Dict):
+            return
+        self.facts.has_registry = True
+        for cls_key, cls_value in zip(value.keys, value.values):
+            if not (isinstance(cls_key, ast.Constant)
+                    and isinstance(cls_key.value, str)):
+                continue
+            if not isinstance(cls_value, ast.Dict):
+                continue
+            for f_key, f_value in zip(cls_value.keys, cls_value.values):
+                if not (isinstance(f_key, ast.Constant)
+                        and isinstance(f_key.value, str)):
+                    continue
+                self.facts.registry.append(RegistryEntryFact(
+                    cls=cls_key.value,
+                    field_name=f_key.value,
+                    lineno=f_key.lineno,
+                    col=f_key.col_offset,
+                    value=_literal(f_value),
+                    context=self._context(f_key),
+                ))
+
+    # --- safety (NOC301 + NOC302) ----------------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report("NOC301", node)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        has_eq = any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops)
+        if has_eq and any(
+            _is_float_const(operand) for operand in [node.left] + node.comparators
+        ):
+            self.report("NOC302", node, "compare against a tolerance instead")
+        self.generic_visit(node)
+
+
+# --- entry points -------------------------------------------------------------
+
+
+def parse_failure(source_path: str, exc: SyntaxError) -> Violation:
+    return Violation(
+        "NOC100", source_path, exc.lineno or 1, (exc.offset or 1) - 1,
+        RULES["NOC100"] + f" ({exc.msg})",
+    )
+
+
+def analyze_source(source: str, path: str) -> FileAnalysis:
+    """Analyze one file's text: per-file rules, dataflow passes, and facts."""
+    module = module_name(Path(path))
+    lines = source.splitlines()
+    directives = scan_noqa(source)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        analysis = FileAnalysis(facts=FileFacts(path=path, module=module))
+        analysis.facts.noqa = {
+            str(line): [entry[0], entry[1], entry[2]]
+            for line, entry in directives.items()
+        }
+        analysis.violations = [parse_failure(path, exc)]
+        return analysis
+
+    linter = FileLinter(path, module, lines)
+    linter.visit(tree)
+    violations = list(linter.violations)
+    violations.extend(dataflow.check_rng_provenance(tree, path, lines))
+    violations.extend(dataflow.check_telemetry_guards(tree, path, module, lines))
+
+    facts = linter.facts
+    facts.noqa = {
+        str(line): [entry[0], entry[1], entry[2]]
+        for line, entry in directives.items()
+    }
+    kept, suppressed = apply_noqa(
+        violations, directives, path, scopes=facts.scope_ranges()
+    )
+    kept.sort(key=lambda v: (v.line, v.col, v.rule))
+    return FileAnalysis(facts=facts, violations=kept, suppressed=suppressed)

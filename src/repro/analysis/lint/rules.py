@@ -1,0 +1,200 @@
+"""Rule catalogue and shared lint primitives.
+
+The catalogue spans four families (full rationale in ``docs/analysis.md``):
+
+* **D — determinism (NOC1xx)**: per-file entropy/ordering rules plus the
+  v2 RNG-stream provenance pass (NOC110/NOC111).
+* **L — layering (NOC2xx)**: direct import rules plus the v2 project
+  import-graph pass (NOC203 transitive layering, NOC204 cycles).
+* **S — safety (NOC3xx)**: bare except, float equality.
+* **C — contracts (NOC4xx)**: the v2 whole-program schema/telemetry
+  contract checkers.
+
+Any rule is suppressible per line with ``# noqa: NOC### -- <reason>``;
+the reason is mandatory (a reasonless ``noqa`` is itself a violation,
+NOC000).  A directive on a ``def``/``class`` line suppresses the rule for
+the whole definition body (used for caller-guaranteed contracts).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+#: Engine version; embedded in the cache signature and SARIF output.
+LINT_VERSION = "2.0.0"
+
+RULES: dict[str, str] = {
+    "NOC000": "suppression without a reason: write `# noqa: NOC### -- why`",
+    "NOC100": "file does not parse",
+    "NOC101": "ambient RNG call: draw from an injected np.random.Generator",
+    "NOC102": "wall-clock/entropy source inside the simulator",
+    "NOC103": "iteration over an unordered set in simulation code",
+    "NOC104": "mutable default argument",
+    "NOC105": "sleep/timer call inside a simulation package: stay cycle-driven",
+    "NOC110": "one RNG stream feeds multiple subsystems: derive named child streams",
+    "NOC111": "RNG seeded from ambient entropy: derive the seed from the spec",
+    "NOC201": "simulation package imports an orchestration layer",
+    "NOC202": "cell-spec dataclass is not frozen",
+    "NOC203": "simulation package reaches an orchestration layer transitively",
+    "NOC204": "top-level import cycle between repro modules",
+    "NOC301": "bare `except:` clause",
+    "NOC302": "float equality comparison in simulation logic",
+    "NOC401": "config field is not covered by the schema-evolution contract",
+    "NOC402": "_SCHEMA_EVOLUTION_DEFAULTS disagrees with the dataclass default",
+    "NOC403": "_SCHEMA_EVOLUTION_DEFAULTS references an unknown class or field",
+    "NOC404": "unguarded telemetry instrument call in the simulator cycle domain",
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit at one source location.
+
+    ``context`` carries the stripped source line the violation anchors to;
+    the baseline matches on it so entries survive unrelated line drift.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    context: str = ""
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "context": self.context,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Violation":
+        return cls(
+            rule=str(data["rule"]),
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data["col"]),
+            message=str(data["message"]),
+            context=str(data.get("context", "")),
+        )
+
+
+@dataclass
+class LintReport:
+    """Outcome of linting a set of files."""
+
+    violations: list[Violation] = field(default_factory=list)
+    suppressed: int = 0
+    files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+#: Sim-altitude packages: hardware models plus their embedded observers.
+SIM_PACKAGES = (
+    "repro.noc",
+    "repro.channels",
+    "repro.rl",
+    "repro.telemetry",
+    "repro.faults",
+)
+ORCHESTRATION_PACKAGES = ("repro.exec", "repro.cli", "repro.report")
+
+
+def in_packages(module: str, packages: tuple[str, ...]) -> bool:
+    """Whether dotted *module* lives under any of *packages*."""
+    return any(module == p or module.startswith(p + ".") for p in packages)
+
+
+def module_name(path: Path) -> str:
+    """Dotted module path of *path*, anchored at the innermost `repro` dir."""
+    parts = list(path.parts)
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        parts = parts[anchor:]
+    name = ".".join(parts)
+    if name.endswith(".py"):
+        name = name[:-3]
+    if name.endswith(".__init__"):
+        name = name[: -len(".__init__")]
+    return name
+
+
+_NOQA_RE = re.compile(
+    r"#\s*noqa:\s*(?P<rules>NOC\d{3}(?:\s*,\s*NOC\d{3})*)"
+    r"(?:\s*--\s*(?P<reason>\S.*))?"
+)
+
+#: lineno -> (rules, reason-or-None, directive column)
+Directives = dict[int, tuple[list[str], str | None, int]]
+
+
+def scan_noqa(source: str) -> Directives:
+    """All ``# noqa: NOC###`` directives in *source*, keyed by line."""
+    directives: Directives = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(text)
+        if match:
+            rules = [r.strip() for r in match.group("rules").split(",")]
+            directives[lineno] = (rules, match.group("reason"), match.start())
+    return directives
+
+
+def apply_noqa(
+    violations: list[Violation],
+    directives: Directives,
+    path: str,
+    scopes: dict[int, range] | None = None,
+) -> tuple[list[Violation], int]:
+    """Filter suppressed violations; reasonless suppressions become NOC000.
+
+    *scopes* maps a ``def``/``class`` header line to the line range of its
+    body: a directive on the header suppresses matching rules anywhere in
+    the body (caller-guaranteed contracts such as NOC404 helpers).
+    """
+    kept: list[Violation] = []
+    suppressed = 0
+    flagged_reasonless: set[int] = set()
+    for violation in violations:
+        directive = directives.get(violation.line)
+        directive_line = violation.line
+        if directive is None or violation.rule not in directive[0]:
+            directive = None
+            if scopes:
+                for header, body in scopes.items():
+                    if violation.line in body:
+                        candidate = directives.get(header)
+                        if candidate and violation.rule in candidate[0]:
+                            directive = candidate
+                            directive_line = header
+                            break
+        if directive is None:
+            kept.append(violation)
+            continue
+        suppressed += 1
+        if directive[1] is None and directive_line not in flagged_reasonless:
+            flagged_reasonless.add(directive_line)
+            kept.append(Violation(
+                "NOC000", path, directive_line, directive[2],
+                RULES["NOC000"] + f" (suppressing {violation.rule})",
+            ))
+    return kept, suppressed
+
+
+def source_line(lines: list[str], lineno: int) -> str:
+    """Stripped, length-capped text of 1-indexed *lineno* (baseline context)."""
+    if 1 <= lineno <= len(lines):
+        return lines[lineno - 1].strip()[:160]
+    return ""

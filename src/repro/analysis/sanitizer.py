@@ -60,7 +60,7 @@ class InvariantViolation(RuntimeError):
     """A runtime invariant failed; the simulation state is not trustworthy."""
 
     def __init__(self, check: str, cycle: int, detail: str,
-                 snapshot_path: Path | None = None):
+                 snapshot_path: Path | None = None) -> None:
         location = f" (snapshot: {snapshot_path})" if snapshot_path else ""
         super().__init__(f"[{check}] cycle {cycle}: {detail}{location}")
         self.check = check
@@ -81,7 +81,7 @@ class NocSanitizer:
         interval: int = DEFAULT_INTERVAL,
         watchdog_cycles: int = DEFAULT_WATCHDOG_CYCLES,
         snapshot_dir: str | Path | None = None,
-    ):
+    ) -> None:
         if interval < 1:
             raise ValueError("check interval must be at least one cycle")
         if watchdog_cycles < interval:

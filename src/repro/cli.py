@@ -468,6 +468,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import lint
+
+    return lint.run_cli(args)
+
+
 def _cmd_area(args: argparse.Namespace) -> int:
     from repro.power.area import AreaModel
 
@@ -545,6 +551,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True, help="output JSON-lines path")
     _add_common(p)
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "lint", help="NoCSan whole-program static analysis (see docs/analysis.md)"
+    )
+    from repro.analysis.lint import add_cli_arguments
+
+    add_cli_arguments(
+        p,
+        default_paths=["src", "tests", "benchmarks"],
+        default_baseline="lint-baseline.json",
+        default_excludes=["tests/analysis/fixtures"],
+    )
+    _add_logging_options(p)
+    p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser("area", help="print the Table 2 area model")
     _add_logging_options(p)

@@ -1,0 +1,27 @@
+"""Clean fixture: named child streams keep subsystems independent."""
+
+import numpy as np
+
+
+def make_traffic(rng):
+    return rng.integers(0, 10)
+
+
+def make_faults(rng):
+    return rng.random()
+
+
+def build(seed: int):
+    root = np.random.SeedSequence(seed)
+    traffic_seed, fault_seed = root.spawn(2)
+    traffic = make_traffic(np.random.default_rng(traffic_seed))
+    faults = make_faults(np.random.default_rng(fault_seed))
+    return traffic, faults
+
+
+def draws_only(seed: int):
+    # one stream, one consumer: repeated handoffs to the same callee are fine
+    rng = np.random.default_rng(seed)
+    first = make_traffic(rng)
+    second = make_traffic(rng)
+    return first, second

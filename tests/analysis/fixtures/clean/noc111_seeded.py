@@ -1,0 +1,11 @@
+"""Clean fixture: every Generator is derived from explicit seed material."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def make(seed: int):
+    a = np.random.default_rng(seed)
+    b = default_rng(np.random.SeedSequence([seed, 1]))
+    c = np.random.default_rng(seed=seed + 2)
+    return a, b, c

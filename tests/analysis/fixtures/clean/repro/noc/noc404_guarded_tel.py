@@ -1,0 +1,39 @@
+"""Clean fixture: every guard idiom NOC404 must accept."""
+
+
+class Router:
+    def __init__(self) -> None:
+        self.telemetry = None
+        self._tel = None
+
+    def if_guard(self, cycle: int) -> None:
+        if self.telemetry is not None:
+            self.telemetry.counter("noc_steps_total", "Steps").inc()
+
+    def truthiness_guard(self, cycle: int) -> None:
+        if self.telemetry:
+            self.telemetry.record("step", cycle)
+
+    def early_return(self, cycle: int) -> None:
+        tel = self._tel
+        if tel is None:
+            return
+        tel.record("step", cycle)
+
+    def assert_guard(self, cycle: int) -> None:
+        tel = self._tel
+        assert tel is not None
+        tel.record("step", cycle)
+
+    def short_circuit(self, cycle: int) -> None:
+        if self._tel is not None and self._tel.sampled(cycle):
+            self._tel.record("sample", cycle)
+
+    def closure_inherits(self, cycle: int):
+        tel = self._tel
+        assert tel is not None
+
+        def observe() -> None:
+            tel.record("observe", cycle)
+
+        return observe

@@ -1,0 +1,17 @@
+"""Clean fixture: every evolved field is registered with its default."""
+
+from dataclasses import dataclass
+from typing import Any
+
+_SCHEMA_EVOLUTION_DEFAULTS: dict[str, dict[str, Any]] = {
+    "NocConfig": {"topology": "mesh", "concentration": 1},
+}
+
+
+@dataclass(frozen=True)
+class NocConfig:
+    width: int = 8
+    height: int = 8
+    routing: str = "xy"
+    topology: str = "mesh"
+    concentration: int = 1

@@ -1,0 +1,16 @@
+"""Fixture: config field added without a schema-evolution default (NOC401)."""
+
+from dataclasses import dataclass
+from typing import Any
+
+_SCHEMA_EVOLUTION_DEFAULTS: dict[str, dict[str, Any]] = {
+    "NocConfig": {"topology": "mesh"},
+}
+
+
+@dataclass(frozen=True)
+class NocConfig:
+    width: int = 8
+    height: int = 8
+    topology: str = "mesh"
+    express_lanes: int = 0  # neither baseline nor registered: cache-key break

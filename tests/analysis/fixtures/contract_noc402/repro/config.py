@@ -1,0 +1,14 @@
+"""Fixture: evolution default disagrees with the dataclass default (NOC402)."""
+
+from dataclasses import dataclass
+from typing import Any
+
+_SCHEMA_EVOLUTION_DEFAULTS: dict[str, dict[str, Any]] = {
+    "NocConfig": {"topology": "grid"},
+}
+
+
+@dataclass(frozen=True)
+class NocConfig:
+    width: int = 8
+    topology: str = "mesh"  # registry says "grid": the omission never fires

@@ -1,0 +1,14 @@
+"""Fixture: registry entries referencing unknown names (NOC403)."""
+
+from dataclasses import dataclass
+from typing import Any
+
+_SCHEMA_EVOLUTION_DEFAULTS: dict[str, dict[str, Any]] = {
+    "NocConfig": {"warp_factor": 9},  # NocConfig has no such field
+    "PhantomConfig": {"x": 1},  # no such dataclass at all
+}
+
+
+@dataclass(frozen=True)
+class NocConfig:
+    width: int = 8

@@ -23,3 +23,28 @@ class Tracker:
         # sorted() iteration is the sanctioned fix.
         for node in sorted(self.active):
             print(node)
+
+
+# --- v2 blind-spot cases: module-level sets, comprehensions, set.pop() ------
+
+PENDING_GLOBAL = {9, 8, 7}
+
+
+def module_level_binding() -> list[int]:
+    return [x for x in PENDING_GLOBAL]
+
+
+def comprehension_over_local() -> set[int]:
+    seen = {1, 2}
+    return {x + 1 for x in seen}
+
+
+def arbitrary_pop() -> int:
+    ready = {5, 6}
+    return ready.pop()
+
+
+def sanctioned_pop() -> int:
+    # sorted() produces a list; list.pop() is deterministic.
+    queue = sorted({5, 6})
+    return queue.pop()

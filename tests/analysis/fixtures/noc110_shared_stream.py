@@ -1,0 +1,28 @@
+"""Lint fixture: one RNG stream handed to two subsystems (NOC110)."""
+
+import numpy as np
+
+
+def make_traffic(rng):
+    return rng.integers(0, 10)
+
+
+def make_faults(rng):
+    return rng.random()
+
+
+def build(seed: int):
+    rng = np.random.default_rng(seed)
+    traffic = make_traffic(rng)
+    faults = make_faults(rng)  # second subsystem on the same stream
+    return traffic, faults
+
+
+class Simulation:
+    def __init__(self, seed: int) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def wire(self):
+        a = make_traffic(self._rng)
+        b = make_faults(self._rng)  # attribute stream, same coupling
+        return a, b

@@ -1,0 +1,11 @@
+"""Lint fixture: Generators created from ambient entropy (NOC111)."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def make():
+    a = np.random.default_rng()  # OS entropy
+    b = default_rng(None)  # explicit None is still OS entropy
+    c = np.random.SeedSequence()  # unseeded sequence
+    return a, b, c

@@ -1,0 +1,7 @@
+"""Fixture: innocent-looking utility module that leaks into orchestration."""
+
+from repro.exec.runner import run_cells
+
+
+def plan() -> int:
+    return run_cells()

@@ -1,0 +1,5 @@
+"""Fixture: the orchestration endpoint of the transitive chain."""
+
+
+def run_cells() -> int:
+    return 0

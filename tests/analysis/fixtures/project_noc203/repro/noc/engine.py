@@ -1,0 +1,7 @@
+"""Fixture: sim module reaching orchestration through an intermediary."""
+
+from repro.bridge import plan
+
+
+def run() -> int:
+    return plan()

@@ -1,0 +1,14 @@
+"""Clean fixture: TYPE_CHECKING imports carry no runtime reachability."""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.exec.runner import CellHandle
+
+
+def plan() -> int:
+    return 0
+
+
+def describe(handle: "CellHandle") -> str:
+    return str(handle)

@@ -1,0 +1,5 @@
+"""Clean fixture: orchestration module present but unreachable at runtime."""
+
+
+class CellHandle:
+    pass

@@ -1,0 +1,7 @@
+"""Clean fixture: the bridge only needs orchestration types for hints."""
+
+from repro.bridge import plan
+
+
+def run() -> int:
+    return plan()

@@ -1,0 +1,7 @@
+"""Fixture: half of a top-level import cycle."""
+
+import repro.beta
+
+
+def ping() -> int:
+    return repro.beta.pong()

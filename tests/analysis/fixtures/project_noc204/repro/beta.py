@@ -1,0 +1,7 @@
+"""Fixture: the other half of the top-level import cycle."""
+
+import repro.alpha
+
+
+def pong() -> int:
+    return repro.alpha.ping()

@@ -1,0 +1,7 @@
+"""Clean fixture: lazy imports are the sanctioned way to break a cycle."""
+
+import repro.beta
+
+
+def ping() -> int:
+    return repro.beta.pong()

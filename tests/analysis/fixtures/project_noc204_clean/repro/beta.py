@@ -1,0 +1,7 @@
+"""Clean fixture: the back-edge is deferred to call time."""
+
+
+def pong() -> int:
+    import repro.alpha  # deferred: no import-time cycle
+
+    return repro.alpha.ping()

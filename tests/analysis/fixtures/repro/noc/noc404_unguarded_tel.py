@@ -1,0 +1,14 @@
+"""Fixture: unguarded telemetry instrument calls in a sim module (NOC404)."""
+
+
+class Router:
+    def __init__(self) -> None:
+        self.telemetry = None
+        self._tel = None
+
+    def step(self, cycle: int) -> None:
+        self.telemetry.counter("noc_steps_total", "Steps").inc()
+
+    def bad_alias(self, cycle: int) -> None:
+        tel = self._tel
+        tel.record("step", cycle)

@@ -1,0 +1,76 @@
+"""Baseline tests: ratchet semantics, persistence, and line-drift immunity."""
+
+import json
+
+import pytest
+
+from repro.analysis.lint.baseline import Baseline
+from repro.analysis.lint.rules import Violation
+
+
+def _v(rule="NOC302", path="src/a.py", line=10, context="if x == 1.0:"):
+    return Violation(rule, path, line, 4, "float equality", context=context)
+
+
+class TestFilterSemantics:
+    def test_known_violation_is_absorbed(self):
+        baseline = Baseline.from_violations([_v()])
+        fresh, absorbed = baseline.filter([_v()])
+        assert fresh == [] and absorbed == 1
+
+    def test_new_violation_stays_fresh(self):
+        baseline = Baseline.from_violations([_v()])
+        newcomer = _v(path="src/b.py")
+        fresh, absorbed = baseline.filter([newcomer])
+        assert fresh == [newcomer] and absorbed == 0
+
+    def test_counts_are_a_budget_not_a_set(self):
+        # two accepted copies absorb at most two occurrences
+        baseline = Baseline.from_violations([_v(), _v()])
+        fresh, absorbed = baseline.filter([_v(), _v(), _v()])
+        assert absorbed == 2
+        assert len(fresh) == 1
+
+    def test_line_drift_does_not_invalidate(self):
+        """Entries key on (rule, path, context text), so inserting code
+        above the accepted line must not resurrect the finding."""
+        baseline = Baseline.from_violations([_v(line=10)])
+        fresh, absorbed = baseline.filter([_v(line=57)])
+        assert fresh == [] and absorbed == 1
+
+    def test_changed_context_retires_the_entry(self):
+        baseline = Baseline.from_violations([_v(context="if x == 1.0:")])
+        edited = _v(context="if x == 2.0:")
+        fresh, absorbed = baseline.filter([edited])
+        assert fresh == [edited] and absorbed == 0
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        original = Baseline.from_violations(
+            [_v(), _v(), _v(rule="NOC000", context="y = 2  # noqa: NOC302")]
+        )
+        original.save(path)
+        assert Baseline.load(path).counts == original.counts
+
+    def test_saved_file_is_sorted_and_stable(self, tmp_path):
+        a, b = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+        Baseline.from_violations([_v(path="z.py"), _v(path="a.py")]).save(a)
+        Baseline.from_violations([_v(path="a.py"), _v(path="z.py")]).save(b)
+        # insertion order must not leak into the committed artifact
+        assert (tmp_path / "a.json").read_text() == (tmp_path / "b.json").read_text()
+        entries = json.loads((tmp_path / "a.json").read_text())["entries"]
+        assert [e["path"] for e in entries] == ["a.py", "z.py"]
+
+    def test_unknown_format_is_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"format": 99, "entries": []}))
+        with pytest.raises(ValueError, match="unsupported baseline format"):
+            Baseline.load(str(path))
+
+    def test_empty_baseline_absorbs_nothing(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"format": 1, "entries": []}))
+        fresh, absorbed = Baseline.load(str(path)).filter([_v()])
+        assert len(fresh) == 1 and absorbed == 0

@@ -1,0 +1,118 @@
+"""Emitter tests: JSON snapshot stability and SARIF 2.1.0 conformance.
+
+The SARIF golden schema (``golden/sarif-2.1.0.schema.json``) is a
+committed subset of the OASIS schema, so conformance is checked offline.
+"""
+
+import json
+from pathlib import Path
+
+import jsonschema
+import pytest
+
+from repro.analysis.lint import RULES, Violation
+from repro.analysis.lint.emit import (
+    SARIF_VERSION,
+    report_to_json,
+    report_to_sarif,
+)
+from repro.analysis.lint.engine import run_engine
+
+FIXTURES = Path(__file__).parent / "fixtures"
+GOLDEN = Path(__file__).parent / "golden"
+
+
+@pytest.fixture(scope="module")
+def sarif_validator():
+    schema = json.loads((GOLDEN / "sarif-2.1.0.schema.json").read_text())
+    jsonschema.Draft202012Validator.check_schema(schema)
+    return jsonschema.Draft202012Validator(schema)
+
+
+@pytest.fixture(scope="module")
+def fixture_report():
+    """A real engine run with plenty of violations to emit."""
+    return run_engine([str(FIXTURES)])
+
+
+def _sample_violations():
+    return [
+        Violation("NOC302", "src/repro/a.py", 3, 8,
+                  "float equality", context="if x == 1.0:"),
+        Violation("NOC000", "tests/b.py", 1, 0,
+                  "reasonless noqa", context="y = 2  # noqa: NOC302"),
+    ]
+
+
+class TestJsonReport:
+    def test_round_trip_is_stable(self, fixture_report):
+        payload = report_to_json(
+            fixture_report.violations,
+            files=fixture_report.files,
+            suppressed=fixture_report.suppressed,
+            baselined=0,
+            stats=fixture_report.stats.to_dict(),
+        )
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        # serialize -> parse -> serialize is a fixed point
+        assert json.dumps(json.loads(text), indent=2, sort_keys=True) == text
+        # and every violation survives the dict round trip intact
+        for raw, violation in zip(
+            payload["violations"], fixture_report.violations
+        ):
+            assert Violation.from_dict(raw) == violation
+
+    def test_counts_block(self):
+        violations = _sample_violations()
+        payload = report_to_json(
+            violations, files=7, suppressed=2, baselined=1
+        )
+        assert payload["tool"] == "nocsan"
+        assert payload["files"] == 7
+        assert payload["counts"] == {"new": 2, "suppressed": 2, "baselined": 1}
+        assert "stats" not in payload  # only present when provided
+
+    def test_two_identical_runs_emit_identical_json(self):
+        kwargs = dict(files=3, suppressed=0, baselined=0)
+        first = report_to_json(_sample_violations(), **kwargs)
+        second = report_to_json(_sample_violations(), **kwargs)
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+
+class TestSarif:
+    def test_fixture_run_validates_against_schema(
+        self, fixture_report, sarif_validator
+    ):
+        sarif = report_to_sarif(
+            fixture_report.violations, stats=fixture_report.stats.to_dict()
+        )
+        sarif_validator.validate(sarif)
+        assert sarif["version"] == SARIF_VERSION
+        assert len(sarif["runs"][0]["results"]) == len(
+            fixture_report.violations
+        )
+
+    def test_empty_run_validates_against_schema(self, sarif_validator):
+        sarif_validator.validate(report_to_sarif([]))
+
+    def test_rule_catalogue_is_complete(self):
+        sarif = report_to_sarif([])
+        driver = sarif["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "NoCSan"
+        assert {rule["id"] for rule in driver["rules"]} == set(RULES)
+
+    def test_rule_index_points_at_the_right_rule(self, fixture_report):
+        sarif = report_to_sarif(fixture_report.violations)
+        run = sarif["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_regions_are_one_based(self, fixture_report):
+        sarif = report_to_sarif(fixture_report.violations)
+        for result in sarif["runs"][0]["results"]:
+            region = result["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+            assert region["startColumn"] >= 1

@@ -14,7 +14,7 @@ from repro.analysis.lint import RULES, LintReport, lint_paths, lint_source, main
 FIXTURES = Path(__file__).parent / "fixtures"
 SRC = Path(__file__).resolve().parents[2] / "src"
 
-#: fixture file -> the rule it must trigger
+#: fixture file (or tree, for whole-program rules) -> the rule it must trigger
 FIXTURE_RULES = {
     "noc100_syntax_error.py": "NOC100",
     "noc101_ambient_rng.py": "NOC101",
@@ -22,12 +22,30 @@ FIXTURE_RULES = {
     "noc103_set_iter.py": "NOC103",
     "noc104_mutable_default.py": "NOC104",
     "repro/noc/noc105_sleep.py": "NOC105",
+    "noc110_shared_stream.py": "NOC110",
+    "noc111_unseeded.py": "NOC111",
     "repro/noc/noc201_layering.py": "NOC201",
     "repro/exec/spec.py": "NOC202",
+    "project_noc203": "NOC203",
+    "project_noc204": "NOC204",
     "noc301_bare_except.py": "NOC301",
     "noc302_float_eq.py": "NOC302",
+    "contract_noc401/repro/config.py": "NOC401",
+    "contract_noc402/repro/config.py": "NOC402",
+    "contract_noc403/repro/config.py": "NOC403",
+    "repro/noc/noc404_unguarded_tel.py": "NOC404",
     "noc000_reasonless_noqa.py": "NOC000",
 }
+
+#: fixtures that must lint perfectly clean (the other half of each rule)
+CLEAN_FIXTURES = [
+    "clean/noc110_named_streams.py",
+    "clean/noc111_seeded.py",
+    "clean/repro/noc/noc404_guarded_tel.py",
+    "project_noc203_clean",
+    "project_noc204_clean",
+    "contract_clean/repro/config.py",
+]
 
 
 class TestFixtures:
@@ -45,6 +63,11 @@ class TestFixtures:
     def test_fixture_tree_fails_as_a_whole(self):
         assert main([str(FIXTURES)]) == 1
 
+    @pytest.mark.parametrize("relpath", CLEAN_FIXTURES)
+    def test_clean_fixture_passes(self, relpath):
+        report = lint_paths([str(FIXTURES / relpath)])
+        assert report.ok, "\n".join(v.render() for v in report.violations)
+
     def test_expected_hit_counts(self):
         """Pin the per-fixture hit counts so rules neither over- nor
         under-fire (e.g. the sorted()/constructor counterexamples inside
@@ -52,9 +75,19 @@ class TestFixtures:
         expected = {
             "noc101_ambient_rng.py": 2,  # random.random + np.random.rand
             "noc102_clock.py": 3,  # time.time + datetime.now + os.urandom
-            "noc103_set_iter.py": 3,  # literal, local var, self attribute
+            # literal, local var, self attribute + v2: module-level binding,
+            # comprehension over a local, set.pop()
+            "noc103_set_iter.py": 6,
             "noc104_mutable_default.py": 3,
             "repro/noc/noc105_sleep.py": 2,  # time.sleep + time.monotonic
+            "noc110_shared_stream.py": 2,  # local stream + self-attribute stream
+            "noc111_unseeded.py": 3,  # no-arg, None seed, unseeded SeedSequence
+            "project_noc203": 1,  # one chain, anchored at the sim import
+            "project_noc204": 1,  # one cycle, reported once
+            "contract_noc401/repro/config.py": 1,
+            "contract_noc402/repro/config.py": 1,
+            "contract_noc403/repro/config.py": 2,  # dead field + dead class
+            "repro/noc/noc404_unguarded_tel.py": 2,  # attribute + local alias
             "noc301_bare_except.py": 1,
             "noc302_float_eq.py": 2,  # == and != float constants
             "noc000_reasonless_noqa.py": 1,
