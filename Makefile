@@ -1,4 +1,4 @@
-.PHONY: install lint lint-baseline test bench figures examples clean
+.PHONY: install lint lint-baseline test bench perf figures examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,7 +10,7 @@ lint:
 		--baseline lint-baseline.json --cache --stats
 	@python -c "import mypy" 2>/dev/null \
 		&& python -m mypy --strict -p repro.exec -p repro.config -p repro.metrics -p repro.telemetry \
-		&& python -m mypy -p repro.analysis \
+		&& python -m mypy -p repro.analysis -p repro.perf \
 		|| echo "mypy not installed; skipped type check"
 
 # Accept the current NoCSan findings into the committed baseline.
@@ -27,6 +27,11 @@ test-output:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Append a cycle-throughput record to BENCH_cycle_throughput.json and
+# gate it against the previous comparable record (docs/observability.md).
+perf:
+	PYTHONPATH=src python -m repro bench --check
 
 bench-output:
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

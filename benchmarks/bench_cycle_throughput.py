@@ -1,118 +1,37 @@
 """Simulator-speed benchmark: cycles/sec and flits/sec on canonical configs.
 
-This is a *performance trajectory* harness, not a results benchmark: it
-measures how fast the cycle loop itself runs so optimization PRs have a
-committed baseline to compare against (ROADMAP item 1).  Run it with::
+Thin wrapper over :mod:`repro.perf.bench` — the matrix, history schema,
+regression gate, and hot-spot report all live in the library so the CLI
+(``repro bench``), CI's ``perf-smoke`` job, and this script share one
+implementation.  Run it with::
 
-    PYTHONPATH=src python benchmarks/bench_cycle_throughput.py
+    PYTHONPATH=src python benchmarks/bench_cycle_throughput.py [--quick]
+        [--check [--threshold 0.85] [--warn-only]] [--report] [--no-profile]
 
-and commit the refreshed ``BENCH_cycle_throughput.json`` alongside any
-change that intends to move these numbers.  The canonical operating
-points are the 8x8 mesh under uniform traffic at 0.1 (nominal) and 0.4
-(saturating) packets/node/cycle; both the static baseline and the full
-IntelliNoC control stack are timed, since their hot paths differ (the RL
-technique exercises gating, bypass, and the control epoch).  Two extra
-IntelliNoC points measure the fault-scenario engine: ``scenario=""``
-confirms the disabled hooks are free, ``scenario="aging-cliff"`` prices
-a run with live structural damage (drops, reroutes, dead routers).
-
-Wall-clock numbers are machine-dependent — compare ratios across commits
-on the same host, not absolute values across hosts.
+Each run *appends* a record (git SHA, Python version, host fingerprint,
+per-cell throughput, optional per-phase simprof hot spots) to the
+committed ``BENCH_cycle_throughput.json`` history — commit the refreshed
+file alongside any change that intends to move these numbers (ROADMAP
+item 1).  Wall-clock numbers are machine-dependent: compare ratios
+across commits on the same host fingerprint, not absolute values across
+hosts.  See docs/observability.md for the full workflow.
 """
 
 from __future__ import annotations
 
-import json
+import argparse
+import logging
 import sys
-import time
-from dataclasses import replace
-from pathlib import Path
-
-from repro.config import INTELLINOC, SECDED_BASELINE, SimulationConfig
-from repro.noc.network import Network
-from repro.traffic.patterns import SyntheticPattern, generate_synthetic_trace
-from repro.utils.rng import make_rng
-
-OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_cycle_throughput.json"
-
-DURATION = 3_000  # trace cycles per operating point
-SEED = 7
-INJECTION_RATES = (0.1, 0.4)
-TECHNIQUES = (SECDED_BASELINE, INTELLINOC)
 
 
-def time_point(technique, injection_rate: float, scenario: str | None = None) -> dict:
-    if scenario is not None:
-        technique = replace(
-            technique, noc=replace(technique.noc, fault_scenario=scenario)
-        )
-    noc = technique.noc
-    trace = generate_synthetic_trace(
-        SyntheticPattern.UNIFORM,
-        noc.num_nodes,
-        noc.width,
-        DURATION,
-        injection_rate,
-        noc.flits_per_packet,
-        make_rng(SEED, f"bench/{technique.name}/{injection_rate}"),
-    )
-    config = SimulationConfig(technique=technique, seed=SEED)
-    network = Network(config, trace)
-    # A fixed simulated-cycle window (not run-to-completion): the
-    # saturating point would otherwise spend most of its wall time in the
-    # post-trace drain, and a fixed window keeps the measured work
-    # identical across commits.
-    started = time.perf_counter()
-    network.run(DURATION)
-    elapsed = time.perf_counter() - started
-    stats = network.stats
-    return {
-        "technique": technique.name,
-        "topology": noc.topology,
-        "grid": f"{noc.width}x{noc.height}",
-        "scenario": noc.fault_scenario,
-        "injection_rate": injection_rate,
-        "simulated_cycles": DURATION,
-        "wall_seconds": round(elapsed, 4),
-        "cycles_per_second": round(DURATION / elapsed, 1),
-        "flits_delivered": stats.flits_delivered,
-        "flits_per_second": round(stats.flits_delivered / elapsed, 1),
-        "packets_completed": stats.packets_completed,
-    }
+def main(argv: list[str] | None = None) -> int:
+    from repro.perf.bench import add_cli_arguments, options_from_args, run_bench_cli
 
-
-def main() -> int:
-    points = []
-    # (technique, rate, scenario): None = no engine constructed at all,
-    # "" = engine hooks present but disabled (must price the same),
-    # "aging-cliff" = live structural damage.
-    grid = [
-        (technique, rate, None)
-        for technique in TECHNIQUES
-        for rate in INJECTION_RATES
-    ] + [
-        (INTELLINOC, 0.1, ""),
-        (INTELLINOC, 0.1, "aging-cliff"),
-    ]
-    for technique, rate, scenario in grid:
-        point = time_point(technique, rate, scenario=scenario)
-        points.append(point)
-        tag = f" [{scenario or 'scenario off'}]" if scenario is not None else ""
-        print(
-            f"{point['technique']:>10s} @ {rate:.1f}: "
-            f"{point['cycles_per_second']:>9.0f} cyc/s  "
-            f"{point['flits_per_second']:>9.0f} flit/s  "
-            f"({point['wall_seconds']:.2f}s wall){tag}"
-        )
-    payload = {
-        "benchmark": "cycle_throughput",
-        "duration": DURATION,
-        "seed": SEED,
-        "points": points,
-    }
-    OUTPUT.write_text(json.dumps(payload, indent=1) + "\n")
-    print(f"wrote {OUTPUT.name}")
-    return 0
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    add_cli_arguments(parser)
+    args = parser.parse_args(argv)
+    logging.basicConfig(level=logging.INFO, format="%(message)s")
+    return run_bench_cli(options_from_args(args))
 
 
 if __name__ == "__main__":

@@ -277,8 +277,9 @@ def check_rng_provenance(
 
 # --- telemetry guards (NOC404) -----------------------------------------------
 
-#: ``self.<attr>`` receivers treated as the optional telemetry hub.
-_WATCHED_ATTRS = frozenset({"_tel", "telemetry"})
+#: ``self.<attr>`` receivers treated as optional observability hooks:
+#: the telemetry hub, its per-step sampled view, and the step profiler.
+_WATCHED_ATTRS = frozenset({"_tel", "telemetry", "_tel_sampled", "_simprof"})
 
 #: A guard key: ("self", attr) or ("local", name).
 _Key = tuple[str, str]

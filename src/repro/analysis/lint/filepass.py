@@ -22,6 +22,7 @@ from typing import Any
 
 from repro.analysis.lint import dataflow
 from repro.analysis.lint.rules import (
+    CYCLE_DOMAIN_PACKAGES,
     ORCHESTRATION_PACKAGES,
     RULES,
     SIM_PACKAGES,
@@ -69,6 +70,23 @@ _SIM_TIMER_CALLS = frozenset(
         "time.monotonic_ns",
         "time.perf_counter",
         "time.perf_counter_ns",
+    }
+)
+
+#: Every clock-reading function banned as a *reference* in the cycle
+#: domain (NOC405).  NOC102/NOC105 catch direct calls; NOC405 closes the
+#: loophole of storing or passing the function itself (``self.clock =
+#: time.monotonic``, ``def f(clock=perf_counter)``) so the only clock
+#: that runs inside ``Network.step`` is the sanctioned simprof probe
+#: (which lives in repro.telemetry, outside this rule's scope).
+_CLOCK_READS = _SIM_TIMER_CALLS | frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.thread_time",
+        "time.thread_time_ns",
     }
 )
 
@@ -313,6 +331,10 @@ class FileLinter(ast.NodeVisitor):
         # map the bound name to its fully qualified origin.
         self.aliases: dict[str, str] = {}
         self.in_sim_package = in_packages(module, SIM_PACKAGES)
+        self.in_cycle_domain = in_packages(module, CYCLE_DOMAIN_PACKAGES)
+        # Call func nodes already reported as NOC102/NOC105: the NOC405
+        # reference check skips them so one call is one violation.
+        self._reported_call_funcs: set[int] = set()
         self.is_spec_module = module == "repro.exec.spec"
         self.class_set_attrs: list[dict[str, bool]] = []
         # Module scope is a real scope: module-level set bindings must be
@@ -401,8 +423,10 @@ class FileLinter(ast.NodeVisitor):
                 self.report("NOC101", node, resolved)
             elif resolved in _CLOCK_ENTROPY or resolved.startswith("secrets."):
                 self.report("NOC102", node, resolved)
+                self._reported_call_funcs.add(id(node.func))
             elif self.in_sim_package and resolved in _SIM_TIMER_CALLS:
                 self.report("NOC105", node, resolved)
+                self._reported_call_funcs.add(id(node.func))
         if (
             isinstance(node.func, ast.Attribute)
             and node.func.attr == "pop"
@@ -414,6 +438,26 @@ class FileLinter(ast.NodeVisitor):
                 "NOC103", node,
                 "set.pop() removes an arbitrary element; pop from sorted() order",
             )
+        self.generic_visit(node)
+
+    # --- clock references in the cycle domain (NOC405) -------------------------
+
+    def _check_clock_reference(self, node: ast.expr, name: str | None) -> None:
+        if name is None or not self.in_cycle_domain:
+            return
+        if id(node) in self._reported_call_funcs:
+            return  # the call itself was already NOC102/NOC105
+        if self._resolve(name) in _CLOCK_READS:
+            self.report("NOC405", node, self._resolve(name))
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self._check_clock_reference(node, dotted(node))
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self._check_clock_reference(node, node.id)
         self.generic_visit(node)
 
     @staticmethod

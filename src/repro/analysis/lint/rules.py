@@ -24,7 +24,7 @@ from pathlib import Path
 from typing import Any
 
 #: Engine version; embedded in the cache signature and SARIF output.
-LINT_VERSION = "2.0.0"
+LINT_VERSION = "2.1.0"
 
 RULES: dict[str, str] = {
     "NOC000": "suppression without a reason: write `# noqa: NOC### -- why`",
@@ -46,6 +46,8 @@ RULES: dict[str, str] = {
     "NOC402": "_SCHEMA_EVOLUTION_DEFAULTS disagrees with the dataclass default",
     "NOC403": "_SCHEMA_EVOLUTION_DEFAULTS references an unknown class or field",
     "NOC404": "unguarded telemetry instrument call in the simulator cycle domain",
+    "NOC405": "clock reference in the cycle domain: route timing through "
+              "repro.telemetry.simprof",
 }
 
 
@@ -110,7 +112,14 @@ SIM_PACKAGES = (
     "repro.telemetry",
     "repro.faults",
 )
-ORCHESTRATION_PACKAGES = ("repro.exec", "repro.cli", "repro.report")
+ORCHESTRATION_PACKAGES = ("repro.exec", "repro.cli", "repro.report", "repro.perf")
+
+#: The cycle domain proper (NOC405): the packages whose wall time the
+#: simprof probes attribute.  Any *reference* to a clock function here —
+#: stored, aliased, or passed around, not just called — defeats the
+#: bit-identical-runs contract, because only repro.telemetry.simprof may
+#: own a clock that runs inside ``Network.step``.
+CYCLE_DOMAIN_PACKAGES = ("repro.noc", "repro.rl")
 
 
 def in_packages(module: str, packages: tuple[str, ...]) -> bool:

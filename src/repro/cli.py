@@ -12,6 +12,9 @@ Usage::
     python -m repro campaign --failure-policy quarantine --journal c.jsonl
     python -m repro campaign --resume c.jsonl
     python -m repro sweep --knob epsilon --values 0 0.05 0.5
+    python -m repro run --benchmark swa --simprof step-profile.json
+    python -m repro bench --quick --check --warn-only
+    python -m repro bench --report
     python -m repro trace --benchmark vips --out vips.jsonl
     python -m repro cache verify
     python -m repro area
@@ -59,6 +62,7 @@ from repro.exec.resilience import (
 from repro.telemetry import (
     CampaignTraceSink,
     PhaseProfiler,
+    SimProfiler,
     Telemetry,
     chain_progress,
 )
@@ -262,12 +266,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.trace or args.metrics_out:
         telemetry = Telemetry(trace_stride=args.trace_stride)
     profiler = PhaseProfiler() if args.profile else None
+    simprof = SimProfiler(stride=args.simprof_stride) if args.simprof else None
 
     def phase(name: str, **kw):
         return nullcontext() if profiler is None else profiler.phase(name, **kw)
 
     tech = _fabric_technique(technique(args.technique), args)
-    system = IntelliNoCSystem(tech, seed=args.seed, telemetry=telemetry)
+    system = IntelliNoCSystem(
+        tech, seed=args.seed, telemetry=telemetry, simprof=simprof
+    )
     if args.pretrain and tech.policy.value == "rl":
         _LOG.info("pre-training RL agents for %d cycles ...", args.pretrain)
         with phase("pretrain", cycles=args.pretrain):
@@ -317,6 +324,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if telemetry is not None and args.metrics_out:
         path = telemetry.write_metrics(args.metrics_out)
         _LOG.info("wrote %d instruments to %s", len(telemetry.instruments()), path)
+    if simprof is not None and args.simprof:
+        out = simprof.write_chrome_trace(args.simprof)
+        _LOG.info(
+            "wrote step-phase profile to %s (%d/%d steps sampled, "
+            "top phase %s)",
+            out, simprof.steps_profiled, simprof.steps_seen,
+            simprof.top_phase(),
+        )
     _write_profile(profiler, args.profile)
     return 0
 
@@ -474,6 +489,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint.run_cli(args)
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import options_from_args, run_bench_cli
+
+    return run_bench_cli(options_from_args(args))
+
+
 def _cmd_area(args: argparse.Namespace) -> int:
     from repro.power.area import AreaModel
 
@@ -512,6 +533,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a Prometheus-style metrics snapshot to PATH")
     p.add_argument("--profile", default=None, metavar="PATH",
                    help="write a Chrome trace-event JSON phase profile to PATH")
+    p.add_argument("--simprof", default=None, metavar="PATH",
+                   help="attribute wall time per Network.step sub-phase and "
+                        "write the Chrome trace-event profile to PATH "
+                        "(docs/observability.md)")
+    p.add_argument("--simprof-stride", type=int, default=1, metavar="N",
+                   help="profile every N-th simulated step (default 1)")
     _add_fabric_options(p)
     _add_common(p)
     p.set_defaults(fn=_cmd_run)
@@ -565,6 +592,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_logging_options(p)
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "bench",
+        help="cycle-throughput bench matrix with tracked history and "
+             "regression gate (docs/observability.md)",
+    )
+    from repro.perf.bench import add_cli_arguments as add_bench_arguments
+
+    add_bench_arguments(p)
+    _add_logging_options(p)
+    p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("area", help="print the Table 2 area model")
     _add_logging_options(p)

@@ -29,7 +29,7 @@ from repro.faults.injection import FaultInjector
 from repro.metrics.summary import RunMetrics
 from repro.noc.network import Network
 from repro.rl.qlearning import QTable
-from repro.telemetry import Telemetry
+from repro.telemetry import SimProfiler, Telemetry
 from repro.traffic.parsec import PARSEC_PROFILES, generate_parsec_trace
 from repro.traffic.trace import Trace, TraceEvent
 from repro.utils.rng import RngFactory
@@ -133,6 +133,7 @@ class IntelliNoCSystem:
         policy: ModePolicy | None = None,
         fault_injector: FaultInjector | None = None,
         telemetry: Telemetry | None = None,
+        simprof: SimProfiler | None = None,
     ):
         self.technique = (
             technique_by_name(technique) if isinstance(technique, str) else technique
@@ -143,6 +144,7 @@ class IntelliNoCSystem:
         self.policy = policy
         self.fault_injector = fault_injector
         self.telemetry = telemetry
+        self.simprof = simprof
         self.last_network: Network | None = None
 
     def _config(self) -> SimulationConfig:
@@ -161,6 +163,7 @@ class IntelliNoCSystem:
             policy=self.policy,
             fault_injector=self.fault_injector,
             telemetry=self.telemetry,
+            simprof=self.simprof,
         )
 
     def make_trace(self, benchmark: str, duration: int) -> Trace:
@@ -202,6 +205,7 @@ class IntelliNoCSystem:
             policy=policy,
             fault_injector=self.fault_injector,
             telemetry=self.telemetry,
+            simprof=self.simprof,
         )
         return clone
 
@@ -215,4 +219,5 @@ class IntelliNoCSystem:
             policy=self.policy,
             fault_injector=self.fault_injector,
             telemetry=self.telemetry,
+            simprof=self.simprof,
         )

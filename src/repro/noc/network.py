@@ -30,7 +30,7 @@ from repro.ecc.outcomes import DecodeOutcome, ErrorSampler, decode_outcome
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from repro.control.policies import ModePolicy
     from repro.power.accounting import EpochPower
-    from repro.telemetry import Telemetry
+    from repro.telemetry import SimProfiler, Telemetry
 from repro.faults.aging import AgingModel
 from repro.faults.injection import FaultInjector
 from repro.faults.scenario import (
@@ -70,6 +70,7 @@ class Network:
         sanitizer: "object | None" = None,
         telemetry: "Telemetry | None" = None,
         scenario: FaultScenario | None = None,
+        simprof: "SimProfiler | None" = None,
     ):
         from repro.analysis.sanitizer import NocSanitizer
         from repro.control.policies import make_policy
@@ -152,8 +153,24 @@ class Network:
         # ones (the disabled-path contract of docs/observability.md).
         self.telemetry = telemetry
         self._tel = telemetry if (telemetry is not None and telemetry.enabled) else None
+        # Per-step sampled view of the hub: `step` resolves the stride check
+        # once per cycle so the per-event hot paths (retransmit, ejection)
+        # test a single attribute instead of two calls per event.
+        self._tel_sampled: "Telemetry | None" = None
         if self._tel is not None:
             self._init_telemetry()
+
+        # Step-phase profiler (docs/observability.md).  Like the sanitizer
+        # and telemetry: pure observation behind one attribute check, and
+        # the profiler clock never feeds back into simulation state, so
+        # profiled runs are bit-identical to unprofiled ones
+        # (tests/telemetry/test_simprof_identical.py).
+        self._simprof = simprof
+        if simprof is not None:
+            simprof.channel_labels = [
+                f"r{ch.src}->{ch.direction.name.lower()}->r{ch.dst}"
+                for ch in self.channels
+            ]
 
     # --- construction ---------------------------------------------------------
 
@@ -402,7 +419,16 @@ class Network:
     # --- one cycle ----------------------------------------------------------------
 
     def step(self) -> None:
+        prof = self._simprof
+        if prof is not None and prof.begin_step(self.cycle):
+            self._step_profiled(prof)
+            return
         cycle = self.cycle
+        tel = self._tel
+        if tel is not None:
+            # Satellite of ROADMAP item 1: resolve the trace-stride check
+            # once per step; per-event sites read `_tel_sampled` directly.
+            self._tel_sampled = tel if cycle % tel.trace_stride == 0 else None
         if self._scenario is not None:
             self._scenario.tick(cycle)
         if self._pending_drops:
@@ -426,6 +452,56 @@ class Network:
         self.cycle = next_cycle
         if self.sanitizer is not None:
             self.sanitizer.observe(self, next_cycle)
+
+    def _step_profiled(self, prof: "SimProfiler") -> None:
+        """``step`` with a ``prof.lap`` probe after each sub-phase.
+
+        Mirrors :meth:`step` exactly — same phases, same order, same
+        simulation state transitions; the only additions are clock reads
+        into the profiler's own accumulators, so profiled runs stay
+        bit-identical (tests/telemetry/test_simprof_identical.py guards
+        the two paths against drifting apart).
+        """
+        cycle = self.cycle
+        tel = self._tel
+        if tel is not None:
+            self._tel_sampled = tel if cycle % tel.trace_stride == 0 else None
+        if self._scenario is not None:
+            self._scenario.tick(cycle)
+        prof.lap("scenario.tick")
+        if self._pending_drops:
+            self._flush_drops(cycle)
+        prof.lap("drops.flush")
+        self._admit_trace_events(cycle)
+        prof.lap("trace.admit")
+        for router in self.routers:
+            state = router.gating.state
+            if state is PowerState.WAKING or state is PowerState.DRAINING:
+                router.gating.tick(cycle, router.is_empty())
+        prof.lap("gating.tick")
+        self._deliver_channels(cycle)
+        prof.lap("link.deliver")
+        self._step_routers_profiled(cycle, prof)
+        self._inject(cycle)
+        prof.lap("inject")
+        next_cycle = cycle + 1
+        if next_cycle % self.config.stats_epoch == 0:
+            self._stats_epoch(next_cycle)
+        prof.lap("stats.epoch")
+        if self.policy.adapts and next_cycle % self.technique.rl.time_step == 0:
+            self._control_step(next_cycle)
+        prof.lap("control.rl")
+        self.cycle = next_cycle
+        if self.sanitizer is not None:
+            self.sanitizer.observe(self, next_cycle)
+        prof.lap("sanitizer.observe")
+        if prof.heat:
+            prof.end_step(
+                router_flits=[r._flit_count for r in self.routers],
+                channel_flits=[ch.occupancy for ch in self.channels],
+            )
+        else:
+            prof.end_step()
 
     # --- phase 0: workload ----------------------------------------------------------
 
@@ -568,8 +644,9 @@ class Network:
         self.accountant.add_dynamic(
             channel.src, self.power_model.retransmission_energy_pj()
         )
-        if self._tel is not None and self._tel.sampled(cycle):
-            self._tel.record(
+        tel = self._tel_sampled  # stride check hoisted into Network.step
+        if tel is not None:
+            tel.record(
                 "retx", cycle, src=channel.src, dst=channel.dst,
                 direction=channel.direction.name.lower(),
             )
@@ -601,6 +678,35 @@ class Network:
                     and all(s.is_empty() for _, s in self._router_locals[router.id]),
                     cycle,
                 )
+
+    def _step_routers_profiled(self, cycle: int, prof: "SimProfiler") -> None:
+        """:meth:`_step_routers` splitting wall time per pipeline stage.
+
+        Same control flow; powered routers run :meth:`Router.step_profiled`
+        (rc_scan / vc_alloc / switch laps), bypass traversals and gating
+        bookkeeping get their own buckets.
+        """
+        for router in self.routers:
+            if router.dead:
+                continue
+            state = router.gating.state
+            if state is PowerState.GATED:
+                if router.technique.uses_bypass:
+                    if router.bypass_overloaded():
+                        router.apply_mode(1, cycle)
+                        self.stats.wakeups += 1
+                    elif router.bypass_step(cycle, self._router_locals[router.id]):
+                        self.stats.bypass_traversals += 1
+                prof.lap("router.bypass")
+            elif state is not PowerState.WAKING:
+                router.step_profiled(cycle, prof)
+            if self.technique.power_gating:
+                router.gating.observe_idle(
+                    router.is_idle()
+                    and all(s.is_empty() for _, s in self._router_locals[router.id]),
+                    cycle,
+                )
+                prof.lap("router.gating")
 
     # --- phase 4: injection ---------------------------------------------------------------
 
@@ -703,8 +809,9 @@ class Network:
             self._recovery_pending_since = None
         if self._tel is not None:
             self._lat_hist.observe(float(packet.latency))
-            if self._tel.sampled(cycle):
-                self._tel.record(
+            tel = self._tel_sampled  # stride check hoisted into Network.step
+            if tel is not None:
+                tel.record(
                     "packet", cycle, src=packet.src, dst=packet.dst,
                     latency=packet.latency, size=packet.size, hops=len(packet.path),
                 )

@@ -257,6 +257,36 @@ class Router:
             return
         if self._flit_count == 0:
             return
+        va_requests, active = self._scan_pipeline(cycle)
+        self._vc_allocate(cycle, va_requests, active)
+        self._switch_allocate(cycle, active)
+
+    def step_profiled(self, cycle: int, prof) -> None:
+        """:meth:`step` with a SimProfiler lap per pipeline stage.
+
+        Same early-outs, same stage order, same state transitions — the
+        profiled network path calls this instead of :meth:`step` so wall
+        time splits into rc_scan / vc_alloc / switch buckets (the
+        bit-identity test guards the two paths against drifting apart).
+        """
+        if not self.powered:
+            return
+        if self._flit_count == 0:
+            return
+        va_requests, active = self._scan_pipeline(cycle)
+        prof.lap("router.rc_scan")
+        self._vc_allocate(cycle, va_requests, active)
+        prof.lap("router.vc_alloc")
+        self._switch_allocate(cycle, active)
+        prof.lap("router.switch")
+
+    def _scan_pipeline(
+        self, cycle: int
+    ) -> tuple[
+        dict[int, list[tuple[int, InputPort, int]]],
+        list[tuple[InputPort, int, VirtualChannel]],
+    ]:
+        """One scan over the occupied VCs: RC plus VA/SA candidate gather."""
         num_vcs = self.noc.num_vcs
         head_delay = self._head_delay
         va_requests: dict[int, list[tuple[int, InputPort, int]]] = {}
@@ -280,8 +310,7 @@ class Router:
                         va_requests.setdefault(vc.route, []).append((key, port, vci))
                 elif state is VcState.ACTIVE:
                     active.append((port, vci, vc))
-        self._vc_allocate(cycle, va_requests, active)
-        self._switch_allocate(cycle, active)
+        return va_requests, active
 
     def _vc_allocate(
         self,

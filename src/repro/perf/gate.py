@@ -1,0 +1,96 @@
+"""Regression gate over the bench history (``repro bench --check``).
+
+Pure math over the record's precomputed ``deltas`` — no simulation, no
+I/O — so the improvement / regression / missing-baseline cases are unit
+testable in microseconds.  Policy (docs/observability.md): a point fails
+when its cycles/s ratio vs the baseline record drops below ``threshold``
+(default 0.85, i.e. a ≥15% slowdown); no comparable baseline passes with
+an explanatory reason rather than blocking the first record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+DEFAULT_THRESHOLD = 0.85
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """Outcome of one gate evaluation."""
+
+    ok: bool
+    reason: str
+    record_id: int | None = None
+    baseline_id: int | None = None
+    worst_ratio: float | None = None
+    failures: dict[str, float] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """One-paragraph terminal/CI summary."""
+        status = "PASS" if self.ok else "FAIL"
+        lines = [f"perf gate: {status} — {self.reason}"]
+        for key, ratio in sorted(self.failures.items()):
+            lines.append(f"  {key}: {ratio:.2%} of baseline cycles/s")
+        return "\n".join(lines)
+
+
+def evaluate_record(
+    record: dict[str, Any], threshold: float = DEFAULT_THRESHOLD
+) -> GateResult:
+    """Gate one bench record on its stored ``deltas``."""
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("gate threshold must be in (0, 1]")
+    record_id = record.get("id")
+    deltas = record.get("deltas")
+    if not deltas:
+        return GateResult(
+            ok=True,
+            reason="no comparable baseline record; nothing to gate against",
+            record_id=record_id,
+        )
+    ratios: dict[str, float] = deltas.get("ratios", {})
+    baseline_id = deltas.get("baseline_id")
+    if not ratios:
+        return GateResult(
+            ok=True,
+            reason=f"baseline record #{baseline_id} shares no matrix points",
+            record_id=record_id,
+            baseline_id=baseline_id,
+        )
+    worst = min(ratios.values())
+    failures = {k: r for k, r in ratios.items() if r < threshold}
+    if failures:
+        return GateResult(
+            ok=False,
+            reason=(
+                f"{len(failures)}/{len(ratios)} matrix points regressed below "
+                f"{threshold:.0%} of record #{baseline_id} cycles/s"
+            ),
+            record_id=record_id,
+            baseline_id=baseline_id,
+            worst_ratio=worst,
+            failures=failures,
+        )
+    return GateResult(
+        ok=True,
+        reason=(
+            f"all {len(ratios)} matrix points within {threshold:.0%} of "
+            f"record #{baseline_id} (worst {worst:.2%}, "
+            f"geomean {deltas.get('geomean', 1.0):.2%})"
+        ),
+        record_id=record_id,
+        baseline_id=baseline_id,
+        worst_ratio=worst,
+    )
+
+
+def evaluate_gate(
+    history: dict[str, Any], threshold: float = DEFAULT_THRESHOLD
+) -> GateResult:
+    """Gate the latest record in *history* (empty history passes)."""
+    records = history.get("history", [])
+    if not records:
+        return GateResult(ok=True, reason="bench history is empty; nothing to gate")
+    return evaluate_record(records[-1], threshold)

@@ -1,0 +1,247 @@
+"""Append-only benchmark history for ``BENCH_cycle_throughput.json``.
+
+Schema v2 (``repro-bench-cycle-throughput/2``)::
+
+    {
+      "schema": "repro-bench-cycle-throughput/2",
+      "benchmark": "cycle_throughput",
+      "history": [
+        {
+          "id": 1,
+          "label": "...",
+          "recorded_at": "2026-08-09T12:00:00Z",
+          "duration": 3000, "seed": 7, "quick": false,
+          "metadata": {"git_sha": "...", "python": "...", ...},
+          "points": [{"technique": ..., "cycles_per_second": ..., ...}],
+          "profiles": {"<point key>": {"top_phase": ..., "hot_spots": ...}},
+          "deltas": {"baseline_id": 1, "ratios": {...},
+                     "geomean": 1.02, "worst": 0.97}
+        },
+        ...
+      ]
+    }
+
+Records are only ever *appended*; the v1 single-snapshot file (a bare
+``{"points": [...]}``) is migrated in place into history entry #1 the
+first time it is loaded, so the pre-observatory numbers stay in the
+trajectory.  ``deltas`` compares each shared matrix point's cycles/s
+against the most recent *comparable* prior record (same duration, seed,
+and quick-flag) — the input :func:`repro.perf.gate.evaluate_gate` uses.
+"""
+
+from __future__ import annotations
+
+import datetime
+import hashlib
+import json
+import math
+import platform
+import subprocess
+from pathlib import Path
+from typing import Any
+
+BENCH_SCHEMA = "repro-bench-cycle-throughput/2"
+BENCH_NAME = "cycle_throughput"
+
+#: The committed history file at the repository root.
+DEFAULT_HISTORY_PATH = (
+    Path(__file__).resolve().parents[3] / "BENCH_cycle_throughput.json"
+)
+
+#: Label attached to the migrated v1 snapshot so readers know its numbers
+#: predate the observatory (no metadata was recorded back then).
+V1_MIGRATION_LABEL = "pre-observatory snapshot (schema v1)"
+
+
+def point_key(point: dict[str, Any]) -> str:
+    """Stable identity of one matrix cell across records."""
+    scenario = point.get("scenario") or "off"
+    return (
+        f"{point['technique']}:{point['topology']}"
+        f"@{point['injection_rate']}:{scenario}"
+    )
+
+
+def git_sha() -> str | None:
+    """Short SHA of HEAD with a ``+dirty`` marker, or None outside git."""
+    root = DEFAULT_HISTORY_PATH.parent
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return f"{sha}+dirty" if status.strip() else sha
+
+
+def host_fingerprint() -> dict[str, Any]:
+    """Hardware/runtime identity for apples-to-apples delta reading."""
+    cpu_count: int | None
+    try:
+        import os
+
+        cpu_count = os.cpu_count()
+    except OSError:  # pragma: no cover - os.cpu_count does not raise today
+        cpu_count = None
+    identity = "|".join(
+        (
+            platform.node(),
+            platform.machine(),
+            platform.platform(),
+            platform.python_version(),
+            str(cpu_count),
+        )
+    )
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": cpu_count,
+        "fingerprint": hashlib.sha256(identity.encode()).hexdigest()[:12],
+    }
+
+
+def run_metadata() -> dict[str, Any]:
+    """The full metadata stamp for one bench record."""
+    meta = {"git_sha": git_sha()}
+    meta.update(host_fingerprint())
+    return meta
+
+
+def _utc_now() -> str:
+    # Bench records are observability artifacts outside the simulated-cycle
+    # domain; the timestamp never feeds back into simulation state.
+    now = datetime.datetime.now(datetime.timezone.utc)  # noqa: NOC102 -- wall-clock stamp on a bench record, not simulation state
+    return now.strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def _migrate_v1(raw: dict[str, Any]) -> dict[str, Any]:
+    """Lift a v1 single-snapshot file into a schema-v2 one-record history."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "benchmark": raw.get("benchmark", BENCH_NAME),
+        "history": [
+            {
+                "id": 1,
+                "label": V1_MIGRATION_LABEL,
+                "recorded_at": None,
+                "duration": raw.get("duration"),
+                "seed": raw.get("seed"),
+                "quick": False,
+                "metadata": None,
+                "points": raw.get("points", []),
+                "profiles": {},
+                "deltas": None,
+            }
+        ],
+    }
+
+
+def load_history(path: Path = DEFAULT_HISTORY_PATH) -> dict[str, Any]:
+    """Load the history file, migrating v1 snapshots; empty shell if absent."""
+    if not path.exists():
+        return {"schema": BENCH_SCHEMA, "benchmark": BENCH_NAME, "history": []}
+    raw = json.loads(path.read_text(encoding="utf-8"))
+    if raw.get("schema") != BENCH_SCHEMA:
+        return _migrate_v1(raw)
+    return raw
+
+
+def save_history(history: dict[str, Any], path: Path = DEFAULT_HISTORY_PATH) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(history, indent=1) + "\n", encoding="utf-8")
+    return path
+
+
+def find_baseline(
+    history: dict[str, Any], record: dict[str, Any]
+) -> dict[str, Any] | None:
+    """Most recent prior record comparable to *record*.
+
+    Comparable = same duration, seed, and quick-flag (so quick CI runs
+    never gate against the full offline matrix), sharing at least one
+    matrix point.  Scans newest-first, skipping *record* itself.
+    """
+    keys = {point_key(p) for p in record.get("points", [])}
+    for prior in reversed(history.get("history", [])):
+        if prior.get("id") == record.get("id"):
+            continue
+        if prior.get("duration") != record.get("duration"):
+            continue
+        if prior.get("seed") != record.get("seed"):
+            continue
+        if bool(prior.get("quick")) != bool(record.get("quick")):
+            continue
+        if keys & {point_key(p) for p in prior.get("points", [])}:
+            return prior
+    return None
+
+
+def compute_deltas(
+    record: dict[str, Any], baseline: dict[str, Any] | None
+) -> dict[str, Any] | None:
+    """Per-point cycles/s ratios (new/old) vs *baseline*, or None."""
+    if baseline is None:
+        return None
+    base_cps = {
+        point_key(p): p["cycles_per_second"] for p in baseline.get("points", [])
+    }
+    ratios: dict[str, float] = {}
+    for point in record.get("points", []):
+        key = point_key(point)
+        old = base_cps.get(key)
+        if old:
+            ratios[key] = round(point["cycles_per_second"] / old, 4)
+    if not ratios:
+        return None
+    geomean = math.exp(sum(math.log(r) for r in ratios.values()) / len(ratios))
+    return {
+        "baseline_id": baseline.get("id"),
+        "ratios": ratios,
+        "geomean": round(geomean, 4),
+        "worst": round(min(ratios.values()), 4),
+    }
+
+
+def append_record(
+    history: dict[str, Any],
+    points: list[dict[str, Any]],
+    duration: int,
+    seed: int,
+    quick: bool = False,
+    label: str | None = None,
+    profiles: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Stamp, delta, and append one bench record; returns the record."""
+    records = history.setdefault("history", [])
+    record: dict[str, Any] = {
+        "id": max((r.get("id", 0) for r in records), default=0) + 1,
+        "label": label,
+        "recorded_at": _utc_now(),
+        "duration": duration,
+        "seed": seed,
+        "quick": quick,
+        "metadata": run_metadata(),
+        "points": points,
+        "profiles": profiles or {},
+        "deltas": None,
+    }
+    record["deltas"] = compute_deltas(record, find_baseline(history, record))
+    records.append(record)
+    history["schema"] = BENCH_SCHEMA
+    history.setdefault("benchmark", BENCH_NAME)
+    return record

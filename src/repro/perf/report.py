@@ -1,0 +1,148 @@
+"""Markdown hot-spot report over the bench history (``repro bench --report``).
+
+Renders the latest record: metadata stamp, per-point throughput table
+with deltas vs the baseline record, and — when the record carries
+simprof profiles — a top-N phases-by-wall-share table per profiled
+point.  The same renderer feeds the terminal, the CI artifact, and the
+``$GITHUB_STEP_SUMMARY`` block (:func:`top_phases_line`).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.perf.history import point_key
+
+
+def _fmt_ratio(ratio: float | None) -> str:
+    if ratio is None:
+        return "—"
+    return f"{(ratio - 1.0):+.1%}"
+
+
+def render_report(history: dict[str, Any], top_n: int = 5) -> str:
+    """Markdown report for the latest record in *history*."""
+    records = history.get("history", [])
+    if not records:
+        return "# Cycle-throughput bench\n\nNo bench records yet — run `repro bench`.\n"
+    record = records[-1]
+    lines = [f"# Cycle-throughput bench — record #{record.get('id')}"]
+    lines.append("")
+    meta = record.get("metadata") or {}
+    stamp = [
+        f"recorded {record.get('recorded_at') or 'n/a'}",
+        f"git {meta.get('git_sha') or 'n/a'}",
+        f"python {meta.get('python') or 'n/a'}",
+        f"host {meta.get('fingerprint') or 'n/a'}",
+        f"duration {record.get('duration')} cycles",
+        f"seed {record.get('seed')}",
+    ]
+    if record.get("quick"):
+        stamp.append("quick matrix")
+    if record.get("label"):
+        lines.append(f"*{record['label']}*")
+        lines.append("")
+    lines.append(" · ".join(stamp))
+    lines.append("")
+
+    deltas = record.get("deltas") or {}
+    ratios: dict[str, float] = deltas.get("ratios", {})
+    lines.append("## Throughput matrix")
+    lines.append("")
+    baseline_id = deltas.get("baseline_id")
+    header = "| point | cycles/s | flits/s | packets |"
+    rule = "| --- | --- | --- | --- |"
+    if baseline_id is not None:
+        header += f" Δ vs #{baseline_id} |"
+        rule += " --- |"
+    lines.append(header)
+    lines.append(rule)
+    for point in record.get("points", []):
+        key = point_key(point)
+        row = (
+            f"| {key} | {point['cycles_per_second']:.1f} "
+            f"| {point.get('flits_per_second', 0.0):.1f} "
+            f"| {point.get('packets_completed', 0)} |"
+        )
+        if baseline_id is not None:
+            row += f" {_fmt_ratio(ratios.get(key))} |"
+        lines.append(row)
+    lines.append("")
+    if deltas:
+        lines.append(
+            f"Geomean cycles/s ratio vs record #{baseline_id}: "
+            f"{deltas.get('geomean', 1.0):.2%} (worst point "
+            f"{deltas.get('worst', 1.0):.2%})."
+        )
+        lines.append("")
+
+    profiles: dict[str, Any] = record.get("profiles") or {}
+    if profiles:
+        lines.append(f"## Hot spots inside `Network.step` (top {top_n} phases)")
+        lines.append("")
+        for key, profile in profiles.items():
+            spots = profile.get("hot_spots", [])[:top_n]
+            top = profile.get("top_phase")
+            lines.append(
+                f"### {key} — top phase: `{top}`"
+                if top
+                else f"### {key}"
+            )
+            lines.append("")
+            lines.append(
+                f"profiled {profile.get('steps_profiled', 0)} steps "
+                f"(stride {profile.get('stride', 1)}), profiler overhead "
+                f"{profile.get('overhead_share', 0.0):.1%} of profiled wall time"
+            )
+            lines.append("")
+            lines.append("| phase | seconds | share |")
+            lines.append("| --- | --- | --- |")
+            for name, seconds, share in spots:
+                lines.append(f"| `{name}` | {seconds:.4f} | {share:.1%} |")
+            lines.append("")
+            hottest = profile.get("hottest_router")
+            if hottest is not None:
+                lines.append(
+                    f"Hottest router: #{hottest['router']} "
+                    f"(busy {hottest['busy_share']:.0%} of sampled steps, "
+                    f"mean {hottest['mean_flits']:.1f} flits)."
+                )
+                lines.append("")
+    else:
+        lines.append(
+            "_No simprof profiles on this record (run without `--no-profile` "
+            "to attribute wall time per step phase)._"
+        )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def top_phases_line(record: dict[str, Any], top_n: int = 3) -> str:
+    """One-line CI summary: cycles/s span + top phases across profiles.
+
+    Aggregates phase seconds across every profiled point of *record* and
+    names the *top_n* heaviest — the line the ``perf-smoke`` job writes
+    to the GitHub job summary.
+    """
+    points = record.get("points", [])
+    if points:
+        cps = [p["cycles_per_second"] for p in points]
+        span = (
+            f"{min(cps):.0f}–{max(cps):.0f} cycles/s"
+            if len(cps) > 1
+            else f"{cps[0]:.0f} cycles/s"
+        )
+    else:
+        span = "no matrix points"
+    totals: dict[str, float] = {}
+    for profile in (record.get("profiles") or {}).values():
+        for name, seconds, _share in profile.get("hot_spots", []):
+            totals[name] = totals.get(name, 0.0) + seconds
+    if not totals:
+        return f"{span}; no phase profiles recorded"
+    ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))[:top_n]
+    grand = sum(totals.values())
+    phases = ", ".join(
+        f"{name} ({seconds / grand:.0%})" for name, seconds in ranked
+    )
+    return f"{span}; top phases: {phases}"

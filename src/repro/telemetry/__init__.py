@@ -12,6 +12,11 @@ The observability layer of the reproduction (catalogued in
 * :class:`PhaseProfiler` — wall-clock spans for the *orchestration* layer
   (never the simulated-cycle domain), exported as Chrome trace-event JSON
   for ``chrome://tracing``.
+* :class:`SimProfiler` — the one sanctioned wall-clock probe *inside* the
+  cycle loop: per-``Network.step``-phase time attribution with stride
+  sampling, router/channel heat tables, and Chrome-trace export, under
+  the same bit-identical-runs contract (NOC405 statically enforces that
+  no other clock reads the cycle domain).
 * :class:`CampaignTraceSink` — turns the execution engine's progress-event
   stream into a JSONL campaign log persisted next to result artifacts.
 
@@ -37,6 +42,13 @@ from repro.telemetry.instruments import (
     Instrument,
 )
 from repro.telemetry.profiler import CHROME_TRACE_SCHEMA, PhaseProfiler, PhaseSpan
+from repro.telemetry.simprof import (
+    OVERHEAD_PHASE,
+    SIMPROF_SUMMARY_SCHEMA,
+    SIMPROF_TRACE_SCHEMA,
+    STEP_PHASES,
+    SimProfiler,
+)
 from repro.telemetry.sinks import (
     read_events_jsonl,
     render_prometheus,
@@ -53,8 +65,13 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Instrument",
+    "OVERHEAD_PHASE",
     "PhaseProfiler",
     "PhaseSpan",
+    "SIMPROF_SUMMARY_SCHEMA",
+    "SIMPROF_TRACE_SCHEMA",
+    "STEP_PHASES",
+    "SimProfiler",
     "Telemetry",
     "cell_span_recorder",
     "chain_progress",

@@ -1,0 +1,30 @@
+"""Clean under NOC405/NOC404: the sanctioned simprof probe pattern.
+
+The cycle domain never touches a clock — it only calls probe methods on
+an injected profiler (which owns the clock, over in repro.telemetry) —
+and the optional hooks are guarded the NOC404 way.
+"""
+
+
+class ProfiledLoop:
+    def __init__(self, simprof=None, telemetry=None):
+        self._simprof = simprof
+        self._tel = telemetry
+        self._tel_sampled = None
+
+    def step(self, cycle: int) -> None:
+        prof = self._simprof
+        if prof is not None and prof.begin_step(cycle):
+            self._advance(cycle)
+            prof.lap("phase.advance")
+            prof.end_step()
+            return
+        self._advance(cycle)
+
+    def _advance(self, cycle: int) -> None:
+        tel = self._tel
+        if tel is not None:
+            self._tel_sampled = tel if cycle % 10 == 0 else None
+        sampled = self._tel_sampled
+        if sampled is not None:
+            sampled.record("step", cycle)

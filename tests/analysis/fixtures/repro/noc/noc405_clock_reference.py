@@ -1,0 +1,17 @@
+"""NOC405 fixture: clock *references* (not calls) in the cycle domain.
+
+NOC105 only fires on calls; storing or defaulting the clock function
+itself smuggles wall time into the simulator just as effectively.
+"""
+
+import time
+from time import perf_counter
+
+
+class StepTimer:
+    def __init__(self) -> None:
+        self.read_clock = time.monotonic  # reference, never called here
+
+
+def default_clock(read=perf_counter):
+    return read()

@@ -34,6 +34,7 @@ FIXTURE_RULES = {
     "contract_noc402/repro/config.py": "NOC402",
     "contract_noc403/repro/config.py": "NOC403",
     "repro/noc/noc404_unguarded_tel.py": "NOC404",
+    "repro/noc/noc405_clock_reference.py": "NOC405",
     "noc000_reasonless_noqa.py": "NOC000",
 }
 
@@ -42,6 +43,7 @@ CLEAN_FIXTURES = [
     "clean/noc110_named_streams.py",
     "clean/noc111_seeded.py",
     "clean/repro/noc/noc404_guarded_tel.py",
+    "clean/repro/noc/noc405_simprof_probe.py",
     "project_noc203_clean",
     "project_noc204_clean",
     "contract_clean/repro/config.py",
@@ -88,6 +90,9 @@ class TestFixtures:
             "contract_noc402/repro/config.py": 1,
             "contract_noc403/repro/config.py": 2,  # dead field + dead class
             "repro/noc/noc404_unguarded_tel.py": 2,  # attribute + local alias
+            # stored bound reference + default-arg reference; the call through
+            # the local alias stays clean
+            "repro/noc/noc405_clock_reference.py": 2,
             "noc301_bare_except.py": 1,
             "noc302_float_eq.py": 2,  # == and != float constants
             "noc000_reasonless_noqa.py": 1,

@@ -1,0 +1,89 @@
+"""Unit tests for the perf regression gate (repro.perf.gate)."""
+
+import pytest
+
+from repro.perf import GateResult, evaluate_gate
+from repro.perf.gate import DEFAULT_THRESHOLD, evaluate_record
+
+
+def record_with(ratios, baseline_id=1, record_id=2):
+    deltas = None
+    if ratios is not None:
+        worst = min(ratios.values()) if ratios else None
+        deltas = {
+            "baseline_id": baseline_id,
+            "ratios": ratios,
+            "geomean": worst,
+            "worst": worst,
+        }
+    return {"id": record_id, "deltas": deltas}
+
+
+class TestEvaluateRecord:
+    def test_threshold_must_be_a_ratio(self):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                evaluate_record(record_with({"k": 1.0}), threshold=bad)
+
+    def test_missing_baseline_passes_with_reason(self):
+        result = evaluate_record(record_with(None))
+        assert result.ok
+        assert "no comparable baseline" in result.reason
+        assert result.baseline_id is None
+        assert result.failures == {}
+
+    def test_no_shared_points_passes(self):
+        result = evaluate_record(record_with({}))
+        assert result.ok
+        assert "shares no matrix points" in result.reason
+        assert result.baseline_id == 1
+
+    def test_improvement_passes(self):
+        ratios = {"a": 1.10, "b": 1.02, "c": 0.97}
+        result = evaluate_record(record_with(ratios))
+        assert result.ok
+        assert result.worst_ratio == pytest.approx(0.97)
+        assert result.failures == {}
+        assert "PASS" in result.describe()
+
+    def test_regression_fails_below_threshold(self):
+        ratios = {"a": 1.01, "b": 0.70, "c": 0.84}
+        result = evaluate_record(record_with(ratios), threshold=0.85)
+        assert not result.ok
+        assert result.failures == {"b": 0.70, "c": 0.84}
+        assert result.worst_ratio == pytest.approx(0.70)
+        assert "2/3 matrix points regressed" in result.reason
+        described = result.describe()
+        assert "FAIL" in described and "b: 70.00%" in described
+
+    def test_boundary_ratio_exactly_at_threshold_passes(self):
+        result = evaluate_record(record_with({"a": DEFAULT_THRESHOLD}))
+        assert result.ok
+
+    def test_tighter_threshold_flips_the_verdict(self):
+        record = record_with({"a": 0.90})
+        assert evaluate_record(record, threshold=0.85).ok
+        assert not evaluate_record(record, threshold=0.95).ok
+
+
+class TestEvaluateGate:
+    def test_empty_history_passes(self):
+        result = evaluate_gate({"history": []})
+        assert result.ok
+        assert "empty" in result.reason
+
+    def test_gates_the_latest_record_only(self):
+        history = {
+            "history": [
+                record_with({"a": 0.10}, record_id=1),  # old regression
+                record_with({"a": 1.00}, record_id=2),
+            ]
+        }
+        assert evaluate_gate(history).ok
+        history["history"].append(record_with({"a": 0.50}, record_id=3))
+        assert not evaluate_gate(history).ok
+
+    def test_result_is_frozen(self):
+        result = GateResult(ok=True, reason="x")
+        with pytest.raises(AttributeError):
+            result.ok = False

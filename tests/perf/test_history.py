@@ -1,0 +1,180 @@
+"""Unit tests for the append-only bench history (repro.perf.history)."""
+
+import json
+
+import pytest
+
+from repro.perf import (
+    BENCH_SCHEMA,
+    append_record,
+    find_baseline,
+    load_history,
+    run_metadata,
+)
+from repro.perf.history import (
+    V1_MIGRATION_LABEL,
+    compute_deltas,
+    point_key,
+    save_history,
+)
+
+
+def point(rate=0.1, cps=100.0, topology="mesh", scenario=""):
+    return {
+        "technique": "IntelliNoC",
+        "topology": topology,
+        "injection_rate": rate,
+        "scenario": scenario,
+        "simulated_cycles": 3000,
+        "cycles_per_second": cps,
+        "flits_per_second": cps * 120,
+        "packets_completed": 4000,
+    }
+
+
+class TestPointKey:
+    def test_key_pins_the_matrix_cell(self):
+        assert point_key(point()) == "IntelliNoC:mesh@0.1:off"
+        assert (
+            point_key(point(rate=0.4, topology="torus", scenario="aging-cliff"))
+            == "IntelliNoC:torus@0.4:aging-cliff"
+        )
+
+    def test_empty_scenario_normalizes_to_off(self):
+        assert point_key(point(scenario="")) == point_key({**point(), "scenario": None})
+
+
+class TestLoadMigrate:
+    def test_missing_file_yields_empty_shell(self, tmp_path):
+        history = load_history(tmp_path / "absent.json")
+        assert history["schema"] == BENCH_SCHEMA
+        assert history["history"] == []
+
+    def test_v1_snapshot_migrates_into_record_one(self, tmp_path):
+        v1 = {
+            "benchmark": "cycle_throughput",
+            "duration": 3000,
+            "seed": 7,
+            "points": [point(cps=250.0)],
+        }
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(v1))
+        history = load_history(path)
+        assert history["schema"] == BENCH_SCHEMA
+        (record,) = history["history"]
+        assert record["id"] == 1
+        assert record["label"] == V1_MIGRATION_LABEL
+        assert record["metadata"] is None
+        assert record["quick"] is False
+        assert record["deltas"] is None
+        assert record["points"] == v1["points"]
+
+    def test_v2_round_trips_through_save(self, tmp_path):
+        path = tmp_path / "bench.json"
+        history = load_history(path)
+        append_record(history, [point()], duration=3000, seed=7)
+        save_history(history, path)
+        assert load_history(path) == history
+
+
+class TestAppend:
+    def test_record_is_stamped_with_metadata(self, tmp_path):
+        history = load_history(tmp_path / "bench.json")
+        record = append_record(
+            history, [point()], duration=3000, seed=7, label="first"
+        )
+        assert record["id"] == 1
+        assert record["label"] == "first"
+        assert record["deltas"] is None  # nothing to compare against
+        meta = record["metadata"]
+        assert set(meta) >= {"git_sha", "python", "fingerprint", "cpu_count"}
+        assert len(meta["fingerprint"]) == 12
+        # ISO-8601 UTC stamp, e.g. 2026-08-09T12:00:00Z
+        assert record["recorded_at"].endswith("Z") and "T" in record["recorded_at"]
+
+    def test_ids_increment_and_deltas_chain(self, tmp_path):
+        history = load_history(tmp_path / "bench.json")
+        append_record(history, [point(cps=100.0)], duration=3000, seed=7)
+        second = append_record(history, [point(cps=110.0)], duration=3000, seed=7)
+        assert second["id"] == 2
+        assert second["deltas"]["baseline_id"] == 1
+        assert second["deltas"]["ratios"] == {"IntelliNoC:mesh@0.1:off": 1.1}
+
+    def test_metadata_matches_current_host(self):
+        assert run_metadata()["fingerprint"] == run_metadata()["fingerprint"]
+
+
+class TestFindBaseline:
+    def history_with(self, **overrides):
+        history = {"schema": BENCH_SCHEMA, "history": []}
+        base = {"duration": 3000, "seed": 7, "quick": False}
+        base.update(overrides)
+        append_record(
+            history,
+            [point(cps=100.0)],
+            duration=base["duration"],
+            seed=base["seed"],
+            quick=base["quick"],
+        )
+        return history
+
+    def probe(self, **overrides):
+        record = {
+            "id": 99,
+            "duration": 3000,
+            "seed": 7,
+            "quick": False,
+            "points": [point(cps=90.0)],
+        }
+        record.update(overrides)
+        return record
+
+    def test_matches_comparable_record(self):
+        history = self.history_with()
+        assert find_baseline(history, self.probe())["id"] == 1
+
+    def test_quick_and_full_records_never_cross(self):
+        history = self.history_with(quick=False)
+        assert find_baseline(history, self.probe(quick=True)) is None
+
+    def test_duration_and_seed_must_match(self):
+        history = self.history_with()
+        assert find_baseline(history, self.probe(duration=600)) is None
+        assert find_baseline(history, self.probe(seed=11)) is None
+
+    def test_requires_a_shared_matrix_point(self):
+        history = self.history_with()
+        disjoint = self.probe(points=[point(topology="torus")])
+        assert find_baseline(history, disjoint) is None
+
+    def test_skips_itself_and_prefers_the_newest(self):
+        history = self.history_with()
+        newer = append_record(history, [point(cps=120.0)], duration=3000, seed=7)
+        assert find_baseline(history, newer)["id"] == 1  # not itself
+        probe = self.probe()
+        assert find_baseline(history, probe)["id"] == newer["id"]
+
+
+class TestComputeDeltas:
+    def test_no_baseline_means_no_deltas(self):
+        assert compute_deltas({"points": [point()]}, None) is None
+
+    def test_ratio_geomean_and_worst(self):
+        baseline = {
+            "id": 1,
+            "points": [point(rate=0.1, cps=100.0), point(rate=0.4, cps=200.0)],
+        }
+        record = {
+            "id": 2,
+            "points": [point(rate=0.1, cps=110.0), point(rate=0.4, cps=180.0)],
+        }
+        deltas = compute_deltas(record, baseline)
+        assert deltas["baseline_id"] == 1
+        assert deltas["ratios"]["IntelliNoC:mesh@0.1:off"] == pytest.approx(1.1)
+        assert deltas["ratios"]["IntelliNoC:mesh@0.4:off"] == pytest.approx(0.9)
+        assert deltas["worst"] == pytest.approx(0.9)
+        assert deltas["geomean"] == pytest.approx((1.1 * 0.9) ** 0.5, abs=1e-4)
+
+    def test_disjoint_points_yield_none(self):
+        baseline = {"id": 1, "points": [point(topology="torus")]}
+        assert compute_deltas({"id": 2, "points": [point()]}, baseline) is None

@@ -1,0 +1,117 @@
+"""Unit tests for the bench hot-spot report renderer (repro.perf.report)."""
+
+from repro.perf import render_report, top_phases_line
+
+
+def record(with_profiles=True, with_deltas=True):
+    return {
+        "id": 3,
+        "label": "after hoist",
+        "recorded_at": "2026-08-09T12:00:00Z",
+        "duration": 3000,
+        "seed": 7,
+        "quick": False,
+        "metadata": {
+            "git_sha": "abc123def456",
+            "python": "3.12.3",
+            "fingerprint": "d2ff64f7cfeb",
+        },
+        "points": [
+            {
+                "technique": "IntelliNoC",
+                "topology": "mesh",
+                "injection_rate": 0.1,
+                "scenario": "",
+                "cycles_per_second": 186.0,
+                "flits_per_second": 23516.0,
+                "packets_completed": 4100,
+            },
+            {
+                "technique": "IntelliNoC",
+                "topology": "mesh",
+                "injection_rate": 0.4,
+                "scenario": "",
+                "cycles_per_second": 149.0,
+                "flits_per_second": 19080.0,
+                "packets_completed": 9800,
+            },
+        ],
+        "profiles": {
+            "IntelliNoC:mesh@0.4:off": {
+                "stride": 1,
+                "steps_profiled": 1000,
+                "top_phase": "router.switch",
+                "hot_spots": [
+                    ["router.switch", 2.1, 0.41],
+                    ["router.vc_alloc", 1.2, 0.23],
+                    ["link.deliver", 0.6, 0.12],
+                ],
+                "overhead_share": 0.08,
+                "hottest_router": {
+                    "router": 27, "busy_share": 0.93, "mean_flits": 3.4,
+                },
+            }
+        } if with_profiles else {},
+        "deltas": {
+            "baseline_id": 2,
+            "ratios": {
+                "IntelliNoC:mesh@0.1:off": 1.05,
+                "IntelliNoC:mesh@0.4:off": 0.98,
+            },
+            "geomean": 1.0142,
+            "worst": 0.98,
+        } if with_deltas else None,
+    }
+
+
+class TestRenderReport:
+    def test_empty_history_prompts_a_run(self):
+        assert "run `repro bench`" in render_report({"history": []})
+
+    def test_full_report_sections(self):
+        text = render_report({"history": [record()]})
+        assert "# Cycle-throughput bench — record #3" in text
+        assert "*after hoist*" in text
+        assert "git abc123def456" in text and "host d2ff64f7cfeb" in text
+        assert "| IntelliNoC:mesh@0.4:off | 149.0 |" in text
+        assert "Δ vs #2" in text and "+5.0%" in text and "-2.0%" in text
+        assert "Geomean cycles/s ratio vs record #2: 101.42%" in text
+        assert "top phase: `router.switch`" in text
+        assert "| `router.vc_alloc` | 1.2000 | 23.0% |" in text
+        assert "Hottest router: #27" in text
+
+    def test_latest_record_wins(self):
+        older = {**record(), "id": 1, "label": "old"}
+        text = render_report({"history": [older, record()]})
+        assert "record #3" in text and "*old*" not in text
+
+    def test_top_n_truncates_the_phase_table(self):
+        text = render_report({"history": [record()]}, top_n=1)
+        assert "`router.switch`" in text
+        assert "| `router.vc_alloc` |" not in text
+
+    def test_report_without_profiles_says_so(self):
+        text = render_report({"history": [record(with_profiles=False)]})
+        assert "No simprof profiles" in text
+
+    def test_report_without_deltas_skips_the_delta_column(self):
+        text = render_report({"history": [record(with_deltas=False)]})
+        assert "Δ vs" not in text and "Geomean" not in text
+
+
+class TestTopPhasesLine:
+    def test_line_names_span_and_phases(self):
+        line = top_phases_line(record(), top_n=2)
+        assert line.startswith("149–186 cycles/s")
+        assert "router.switch (54%)" in line
+        assert "router.vc_alloc (31%)" in line
+        assert "link.deliver" not in line
+
+    def test_line_without_profiles(self):
+        assert top_phases_line(record(with_profiles=False)).endswith(
+            "no phase profiles recorded"
+        )
+
+    def test_line_without_points(self):
+        bare = {**record(with_profiles=False), "points": []}
+        assert top_phases_line(bare).startswith("no matrix points")
